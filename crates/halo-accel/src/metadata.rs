@@ -1,0 +1,156 @@
+//! The per-accelerator metadata cache (§4.3).
+//!
+//! Each HALO accelerator caches the metadata of the 10 most recently
+//! used hash tables (640 B), kept coherent with a core-valid (CV) bit in
+//! the LLC snoop filter. Since table metadata almost never changes after
+//! creation, snoops are rare; the win is that steady-state queries skip
+//! the metadata fetch entirely.
+
+use halo_mem::Addr;
+
+/// Capacity of the metadata cache in tables (the paper's configuration).
+pub const METADATA_CACHE_TABLES: usize = 10;
+
+/// An LRU cache of table-metadata lines held inside one accelerator.
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    /// `(metadata line address, lru tick)`, at most `capacity` entries.
+    entries: Vec<(Addr, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl MetadataCache {
+    /// Creates an empty cache for `capacity` tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MetadataCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Looks up the metadata line at `addr`, inserting it on miss
+    /// (evicting the LRU table). Returns `true` on hit.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(a, _)| *a == addr) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("cache full implies non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((addr, self.tick));
+        false
+    }
+
+    /// Handles a snoop invalidation (a core wrote the metadata line, e.g.
+    /// a table resize). Returns `true` if the line was present.
+    pub fn snoop_invalidate(&mut self, addr: Addr) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(a, _)| *a != addr);
+        let hit = self.entries.len() != before;
+        if hit {
+            self.invalidations += 1;
+        }
+        hit
+    }
+
+    /// Whether `addr`'s metadata is currently cached (no LRU update).
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.entries.iter().any(|(a, _)| *a == addr)
+    }
+
+    /// (hits, misses, snoop invalidations).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Number of tables currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for MetadataCache {
+    fn default() -> Self {
+        MetadataCache::new(METADATA_CACHE_TABLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = MetadataCache::default();
+        assert!(!c.access(Addr(64)));
+        assert!(c.access(Addr(64)));
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = MetadataCache::new(2);
+        c.access(Addr(64));
+        c.access(Addr(128));
+        c.access(Addr(64)); // refresh 64; 128 becomes LRU
+        c.access(Addr(192)); // evicts 128
+        assert!(c.contains(Addr(64)));
+        assert!(!c.contains(Addr(128)));
+        assert!(c.contains(Addr(192)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn snoop_invalidation_removes() {
+        let mut c = MetadataCache::default();
+        c.access(Addr(64));
+        assert!(c.snoop_invalidate(Addr(64)));
+        assert!(!c.contains(Addr(64)));
+        assert!(!c.snoop_invalidate(Addr(64)));
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn default_capacity_is_ten_tables() {
+        let mut c = MetadataCache::default();
+        for i in 0..METADATA_CACHE_TABLES {
+            c.access(Addr(64 * (i as u64 + 1)));
+        }
+        assert_eq!(c.len(), METADATA_CACHE_TABLES);
+        assert!(!c.is_empty());
+    }
+}

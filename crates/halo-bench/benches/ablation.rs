@@ -1,0 +1,22 @@
+//! Criterion benches over the ablation studies (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halo_bench::experiments::ablation;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("metadata_cache", |b| {
+        b.iter(|| std::hint::black_box(ablation::metadata_cache()))
+    });
+    g.bench_function("scoreboard_depth", |b| {
+        b.iter(|| std::hint::black_box(ablation::scoreboard_depth()))
+    });
+    g.bench_function("dispatch_policy", |b| {
+        b.iter(|| std::hint::black_box(ablation::dispatch_policy()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

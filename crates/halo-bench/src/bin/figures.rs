@@ -1,0 +1,92 @@
+//! Regenerates the HALO paper's tables and figures.
+//!
+//! ```text
+//! figures [--full] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|all]
+//! ```
+//!
+//! By default experiments run in "quick" mode (reduced sweep sizes,
+//! identical shapes); pass `--full` for the paper-scale sweeps.
+
+use halo_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    const KNOWN: [&str; 13] = [
+        "all", "table1", "fig3", "fig4", "fig8b", "fig9", "fig10", "fig11", "fig12",
+        "table4", "fig13", "scaling", "extensions",
+    ];
+    let known_with_ablation = |n: &str| n == "ablation" || KNOWN.contains(&n);
+    if let Some(bad) = which.iter().find(|n| !known_with_ablation(n)) {
+        eprintln!("error: unknown experiment '{bad}'");
+        eprintln!("usage: figures [--full] [{} | ablation]...", KNOWN.join(" | "));
+        std::process::exit(2);
+    }
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("table1") {
+        println!("## Table 1 — instructions per software lookup\n");
+        println!("{}", ex::table1::table());
+    }
+    if want("fig3") {
+        println!("## Fig. 3 — packet-processing breakdown (cycles/packet)\n");
+        println!("{}", ex::fig3::table(&ex::fig3::run(quick)));
+    }
+    if want("fig4") {
+        println!("## Fig. 4 — cuckoo vs SFH cache behaviour\n");
+        println!("{}", ex::fig4::table(&ex::fig4::run(quick)));
+    }
+    if want("fig8b") {
+        println!("## Fig. 8b — flow-register accuracy\n");
+        println!("{}", ex::fig8b::table(&ex::fig8b::run()));
+    }
+    if want("fig9") {
+        println!("## Fig. 9 — single-table lookup throughput (lookups/kilocycle)\n");
+        println!("{}", ex::fig9::table(&ex::fig9::run(quick)));
+    }
+    if want("fig10") {
+        println!("## Fig. 10 — lookup latency breakdown\n");
+        println!("{}", ex::fig10::table(&ex::fig10::run()));
+    }
+    if want("fig11") {
+        println!("## Fig. 11 — tuple space search scaling\n");
+        println!("{}", ex::fig11::table(&ex::fig11::run(quick)));
+    }
+    if want("fig12") {
+        println!("## Fig. 12 — co-located NF interference\n");
+        println!("{}", ex::fig12::table(&ex::fig12::run(quick)));
+    }
+    if want("table4") {
+        println!("## Table 4 — power/area and energy efficiency\n");
+        println!("{}", ex::table4::table(&ex::table4::run(quick)));
+    }
+    if want("fig13") {
+        println!("## Fig. 13 — hash-table NF speedups with HALO\n");
+        println!("{}", ex::fig13::table(&ex::fig13::run(quick)));
+    }
+    if want("scaling") {
+        println!("## Scaling — multi-core datapath throughput\n");
+        println!("{}", ex::scaling::table(&ex::scaling::run(quick)));
+    }
+    if want("extensions") {
+        println!("## Extension (§4.8) — tree-index lookup\n{}", ex::extensions::tree_lookup());
+        println!("## Extension (§4.8) — MemC3-style key-value GETs\n{}", ex::extensions::kv_gets());
+        println!("## Extension — update cost: cuckoo vs TCAM\n{}", ex::extensions::update_cost());
+    }
+    if want("ablation") {
+        println!("## Ablation — metadata cache\n{}", ex::ablation::metadata_cache());
+        println!("## Ablation — scoreboard depth\n{}", ex::ablation::scoreboard_depth());
+        println!("## Ablation — dispatch policy\n{}", ex::ablation::dispatch_policy());
+        println!("## Ablation — locking\n{}", ex::ablation::locking());
+        println!("## Ablation — bulk software vs HALO\n{}", ex::ablation::bulk_software());
+        println!("## Ablation — hybrid threshold\n{}", ex::ablation::hybrid_threshold());
+        println!("## Ablation — hybrid controller in action\n{}", ex::ablation::hybrid_in_action());
+    }
+}

@@ -1,0 +1,453 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! metadata cache, scoreboard depth, dispatch policy, hardware locking,
+//! and the hybrid-mode threshold.
+
+use halo_accel::{AcceleratorConfig, DispatchPolicy, HaloEngine, HybridClassifier, HybridConfig};
+use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
+use halo_mem::{AccessKind, CoreId, MachineConfig, MemorySystem};
+use halo_sim::{fmt_f64, Cycle, Cycles, SplitMix64, TextTable};
+use halo_tables::{CuckooTable, FlowKey};
+
+fn build_table(sys: &mut MemorySystem, flows: usize) -> CuckooTable {
+    let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
+    for id in 0..flows as u64 {
+        let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+    }
+    let lines: Vec<_> = table.all_lines().collect();
+    for a in lines {
+        sys.warm_llc(a);
+    }
+    table
+}
+
+/// Metadata cache on/off: average blocking-lookup latency.
+#[must_use]
+pub fn metadata_cache() -> TextTable {
+    let mut t = TextTable::new(vec!["metadata cache", "avg LOOKUP_B latency (cy)"]);
+    for enabled in [true, false] {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let table = build_table(&mut sys, 20_000);
+        let cfg = AcceleratorConfig {
+            metadata_cache: enabled,
+            ..AcceleratorConfig::default()
+        };
+        let mut engine = HaloEngine::new(&sys, cfg);
+        let mut rng = SplitMix64::new(4);
+        let mut total = 0u64;
+        let mut t0 = Cycle(0);
+        const N: u64 = 200;
+        for _ in 0..N {
+            let key = FlowKey::synthetic(rng.below(20_000), 13);
+            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t0);
+            total += (done - t0).0;
+            t0 = done;
+        }
+        t.row(vec![
+            if enabled { "on (10 tables)" } else { "off" }.into(),
+            fmt_f64(total as f64 / N as f64),
+        ]);
+    }
+    t
+}
+
+/// Scoreboard depth sweep: non-blocking batch throughput.
+#[must_use]
+pub fn scoreboard_depth() -> TextTable {
+    let mut t = TextTable::new(vec!["scoreboard depth", "NB throughput (lookups/kcy)"]);
+    for depth in [1usize, 2, 10, 32] {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let table = build_table(&mut sys, 20_000);
+        let cfg = AcceleratorConfig {
+            scoreboard_depth: depth,
+            ..AcceleratorConfig::default()
+        };
+        let mut engine = HaloEngine::new(&sys, cfg);
+        let dest = sys.data_mut().alloc_lines(64);
+        let mut rng = SplitMix64::new(4);
+        let start = Cycle(0);
+        let mut t0 = start;
+        const N: u64 = 400;
+        let mut done_total = 0u64;
+        while done_total < N {
+            let batch = 8.min(N - done_total);
+            let mut batch_done = t0;
+            for i in 0..batch {
+                let key = FlowKey::synthetic(rng.below(20_000), 13);
+                let h = engine.lookup_nb(
+                    &mut sys,
+                    CoreId(0),
+                    &table,
+                    &key,
+                    None,
+                    dest + i * 8,
+                    t0 + Cycles(i),
+                );
+                batch_done = batch_done.max(h.result_at);
+            }
+            let (_, snap) = engine.snapshot_read(&mut sys, CoreId(0), dest, batch_done);
+            t0 = snap;
+            done_total += batch;
+        }
+        t.row(vec![
+            depth.to_string(),
+            fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
+        ]);
+    }
+    t
+}
+
+/// Dispatch policy comparison on a multi-table workload.
+#[must_use]
+pub fn dispatch_policy() -> TextTable {
+    let mut t = TextTable::new(vec!["dispatch policy", "throughput (lookups/kcy)", "accels used"]);
+    for (name, policy) in [
+        ("table-hash (paper)", DispatchPolicy::TableHash),
+        ("round-robin", DispatchPolicy::RoundRobin),
+        ("key-hash", DispatchPolicy::KeyHash),
+    ] {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        // Ten tables, queries spread across them (a tuple-space-like
+        // multi-table pattern).
+        let tables: Vec<CuckooTable> = (0..10).map(|_| build_table(&mut sys, 2_000)).collect();
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        engine.set_policy(policy);
+        let mut rng = SplitMix64::new(4);
+        let start = Cycle(0);
+        let mut finish = start;
+        const N: u64 = 400;
+        for i in 0..N {
+            let table = &tables[(i % 10) as usize];
+            let key = FlowKey::synthetic(rng.below(2_000), 13);
+            let tr = table.lookup_traced(sys.data_mut(), &key, false);
+            let h = halo_tables::hash_key(&key, halo_tables::SEED_PRIMARY);
+            let out = engine.dispatch(
+                &mut sys,
+                CoreId(0),
+                table.meta_addr(),
+                &tr,
+                h,
+                None,
+                None,
+                start + Cycles(i * 2), // steady 0.5 queries/cycle offered
+            );
+            finish = finish.max(out.complete);
+        }
+        let used = engine
+            .accelerators()
+            .iter()
+            .filter(|a| a.queries() > 0)
+            .count();
+        t.row(vec![
+            name.into(),
+            fmt_f64(crate::experiments::harness::kilo_throughput(N, finish - start)),
+            used.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Hardware lock bit vs software optimistic locking under a concurrent
+/// writer.
+#[must_use]
+pub fn locking() -> TextTable {
+    let mut t = TextTable::new(vec!["locking scheme", "avg lookup latency (cy)"]);
+
+    // Software locking: reader pays the version-check instructions.
+    {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut table = build_table(&mut sys, 5_000);
+        let mut scratch = Scratch::new(&mut sys);
+        scratch.warm(&mut sys, CoreId(0));
+        let mut core = CoreModel::new(CoreId(0), sys.config());
+        let mut rng = SplitMix64::new(4);
+        let mut total = 0u64;
+        let mut t0 = Cycle(0);
+        const N: u64 = 150;
+        for i in 0..N {
+            // A concurrent writer relocates entries now and then.
+            if i % 8 == 0 {
+                let victim = FlowKey::synthetic(rng.below(5_000), 13);
+                table.cuckoo_move(sys.data_mut(), &victim);
+            }
+            let key = FlowKey::synthetic(rng.below(5_000), 13);
+            let tr = table.lookup_traced(sys.data_mut(), &key, true);
+            let prog = build_sw_lookup(&tr, &mut scratch, None);
+            let r = core.run(&prog, &mut sys, t0);
+            total += (r.finish - r.start).0;
+            t0 = r.finish;
+        }
+        t.row(vec![
+            "software optimistic".into(),
+            fmt_f64(total as f64 / N as f64),
+        ]);
+    }
+
+    // Hardware lock bit: the accelerator pins lines; a concurrent
+    // writer's stores stall on the lock instead of the reader paying
+    // per-lookup instructions.
+    {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut table = build_table(&mut sys, 5_000);
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut rng = SplitMix64::new(4);
+        let mut total = 0u64;
+        let mut t0 = Cycle(0);
+        const N: u64 = 150;
+        for i in 0..N {
+            if i % 8 == 0 {
+                let victim = FlowKey::synthetic(rng.below(5_000), 13);
+                // Writer core issues its stores (they respect the lock bits).
+                let (b1, _) = halo_tables::bucket_pair(&victim, table.meta().buckets);
+                let addr = table.meta().bucket_addr(b1);
+                sys.access(CoreId(1), addr, AccessKind::Store, t0);
+                table.cuckoo_move(sys.data_mut(), &victim);
+            }
+            let key = FlowKey::synthetic(rng.below(5_000), 13);
+            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t0);
+            total += (done - t0).0;
+            t0 = done;
+        }
+        t.row(vec![
+            "HALO hardware lock bit".into(),
+            fmt_f64(total as f64 / N as f64),
+        ]);
+    }
+    t
+}
+
+/// Hybrid-mode threshold sweep: where does the SW/HALO crossover sit?
+#[must_use]
+pub fn hybrid_threshold() -> TextTable {
+    let mut t = TextTable::new(vec!["flows", "software cy/lookup", "HALO cy/lookup", "faster"]);
+    for flows in [8usize, 32, 64, 256, 4096] {
+        // Software path with the table warm in private caches.
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
+        for id in 0..flows as u64 {
+            let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+        }
+        for a in table.all_lines().collect::<Vec<_>>() {
+            // Small working sets stay private-cache resident in steady
+            // state; larger ones realistically live in the LLC (the
+            // rest of the datapath competes for L1/L2).
+            if flows <= 256 {
+                sys.warm_private(CoreId(0), a);
+            } else {
+                sys.warm_llc(a);
+            }
+        }
+        let mut scratch = Scratch::new(&mut sys);
+        scratch.warm(&mut sys, CoreId(0));
+        let mut core = CoreModel::new(CoreId(0), sys.config());
+        let mut rng = SplitMix64::new(4);
+        let mut sw_total = 0u64;
+        let mut t0 = Cycle(0);
+        const N: u64 = 150;
+        for _ in 0..N {
+            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+            let tr = table.lookup_traced(sys.data_mut(), &key, true);
+            let prog = build_sw_lookup(&tr, &mut scratch, None);
+            let r = core.run(&prog, &mut sys, t0);
+            sw_total += (r.finish - r.start).0;
+            t0 = r.finish;
+        }
+        let sw = sw_total as f64 / N as f64;
+
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let table2 = build_table(&mut sys, flows);
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut rng = SplitMix64::new(4);
+        let mut hw_total = 0u64;
+        let mut t0 = Cycle(0);
+        for _ in 0..N {
+            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table2, &key, None, t0);
+            hw_total += (done - t0).0;
+            t0 = done;
+        }
+        let hw = hw_total as f64 / N as f64;
+        t.row(vec![
+            flows.to_string(),
+            fmt_f64(sw),
+            fmt_f64(hw),
+            if sw < hw { "software" } else { "HALO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// Hybrid controller in action: lookups split between modes as the flow
+/// count crosses the threshold.
+#[must_use]
+pub fn hybrid_in_action() -> TextTable {
+    let mut t = TextTable::new(vec!["flows", "sw lookups", "halo lookups", "final mode"]);
+    for flows in [16usize, 1024] {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
+        for id in 0..flows as u64 {
+            let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+        }
+        for a in table.all_lines().collect::<Vec<_>>() {
+            sys.warm_llc(a);
+        }
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
+        let mut rng = SplitMix64::new(4);
+        let mut t0 = Cycle(0);
+        for _ in 0..1200u64 {
+            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+            let (_, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t0);
+            t0 = done;
+        }
+        let (sw, hw) = hybrid.split();
+        t.row(vec![
+            flows.to_string(),
+            sw.to_string(),
+            hw.to_string(),
+            format!("{:?}", hybrid.mode()),
+        ]);
+    }
+    t
+}
+
+
+/// Optimized-software fairness check: DPDK's bulk lookup API
+/// (`rte_hash_lookup_bulk`, software pipelining for MLP) vs scalar
+/// software vs HALO non-blocking, on an LLC-resident table.
+#[must_use]
+pub fn bulk_software() -> TextTable {
+    use halo_cpu::build_sw_lookup_bulk;
+    let mut t = TextTable::new(vec!["approach", "throughput (lookups/kcy)"]);
+    const FLOWS: usize = 20_000;
+    const N: u64 = 320;
+
+    // Scalar software.
+    {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let table = build_table(&mut sys, FLOWS);
+        let mut scratch = Scratch::new(&mut sys);
+        scratch.warm(&mut sys, CoreId(0));
+        let mut core = CoreModel::new(CoreId(0), sys.config());
+        let mut rng = SplitMix64::new(4);
+        let start = Cycle(0);
+        let mut t0 = start;
+        for _ in 0..N {
+            let key = FlowKey::synthetic(rng.below(FLOWS as u64), 13);
+            let tr = table.lookup_traced(sys.data_mut(), &key, true);
+            let prog = build_sw_lookup(&tr, &mut scratch, None);
+            t0 = core.run(&prog, &mut sys, t0).finish;
+        }
+        t.row(vec![
+            "software (scalar)".into(),
+            fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
+        ]);
+    }
+
+    // Bulk software (bursts of 8).
+    {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let table = build_table(&mut sys, FLOWS);
+        let mut scratch = Scratch::new(&mut sys);
+        scratch.warm(&mut sys, CoreId(0));
+        let mut core = CoreModel::new(CoreId(0), sys.config());
+        let mut rng = SplitMix64::new(4);
+        let start = Cycle(0);
+        let mut t0 = start;
+        let mut done = 0u64;
+        while done < N {
+            let burst = 8.min(N - done);
+            let traces: Vec<_> = (0..burst)
+                .map(|_| {
+                    let key = FlowKey::synthetic(rng.below(FLOWS as u64), 13);
+                    table.lookup_traced(sys.data_mut(), &key, true)
+                })
+                .collect();
+            let refs: Vec<&halo_tables::LookupTrace> = traces.iter().collect();
+            let prog = build_sw_lookup_bulk(&refs, &mut scratch);
+            t0 = core.run(&prog, &mut sys, t0).finish;
+            done += burst;
+        }
+        t.row(vec![
+            "software (bulk x8)".into(),
+            fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
+        ]);
+    }
+
+    // HALO non-blocking (bursts of 8).
+    {
+        let mut w = crate::experiments::harness::SingleTableWorkload::new(1 << 15, 0.6, 4);
+        let thr = w.throughput(crate::experiments::harness::Approach::HaloNonBlocking, N);
+        t.row(vec!["HALO non-blocking".into(), fmt_f64(thr)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_cache_helps() {
+        let t = metadata_cache();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().skip(1).collect();
+        let on: f64 = lines[0].split(',').nth(1).unwrap().parse().unwrap();
+        let off: f64 = lines[1].split(',').nth(1).unwrap().parse().unwrap();
+        assert!(on < off, "metadata cache on ({on}) must beat off ({off})");
+    }
+
+    #[test]
+    fn deeper_scoreboard_helps_throughput() {
+        let t = scoreboard_depth();
+        let csv = t.to_csv();
+        let vals: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(vals[2] > vals[0], "depth 10 ({}) must beat depth 1 ({})", vals[2], vals[0]);
+    }
+
+    #[test]
+    fn table_hash_spreads_multi_table_load() {
+        let t = dispatch_policy();
+        let csv = t.to_csv();
+        let used: Vec<u64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert!(used[0] > 1, "table-hash must use several accelerators");
+        assert!(used[1] >= used[0], "round-robin uses at least as many");
+    }
+
+    #[test]
+    fn bulk_software_helps_but_halo_still_wins() {
+        let t = bulk_software();
+        let csv = t.to_csv();
+        let vals: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(vals[1] > vals[0], "bulk {} must beat scalar {}", vals[1], vals[0]);
+        assert!(vals[2] > vals[1], "HALO {} must beat bulk {}", vals[2], vals[1]);
+    }
+
+    #[test]
+    fn hybrid_crossover_exists() {
+        let t = hybrid_threshold();
+        let csv = t.to_csv();
+        let winners: Vec<String> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(3).unwrap().to_string())
+            .collect();
+        assert_eq!(winners[0], "software", "8 flows should favor software");
+        assert_eq!(
+            winners.last().unwrap(),
+            "HALO",
+            "4096 flows should favor HALO"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 12: performance interference of co-running network functions
+//! with the virtual switch on the same SMT core — throughput drop (a)
+//! and L1D miss-rate increase (b), software vs HALO classification.
+
+use halo_nf::{colocation_experiment, ComputeNfKind, SwitchImpl};
+use halo_sim::{fmt_f64, TextTable};
+
+/// One Fig. 12 measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig12Row {
+    /// The co-located NF.
+    pub nf: ComputeNfKind,
+    /// Flows handled by the switch sibling.
+    pub flows: usize,
+    /// Switch implementation.
+    pub imp: SwitchImpl,
+    /// NF throughput drop in [0, 1).
+    pub drop: f64,
+    /// L1D miss-ratio increase (fraction points).
+    pub l1_miss_increase: f64,
+}
+
+/// Runs the study (paper: 1K / 10K / 100K flows x {ACL, Snort, mTCP}).
+#[must_use]
+pub fn run(quick: bool) -> Vec<Fig12Row> {
+    let flows: &[usize] = if quick {
+        &[1_000, 20_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let packets: u64 = if quick { 120 } else { 300 };
+    let mut out = Vec::new();
+    for &nf in &ComputeNfKind::all() {
+        for &f in flows {
+            for imp in [SwitchImpl::Software, SwitchImpl::Halo] {
+                let r = colocation_experiment(nf, f, imp, packets, 11);
+                out.push(Fig12Row {
+                    nf,
+                    flows: f,
+                    imp,
+                    drop: r.throughput_drop(),
+                    l1_miss_increase: r.l1_miss_increase(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Formats both panels of Fig. 12.
+#[must_use]
+pub fn table(rows: &[Fig12Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "NF",
+        "flows",
+        "switch impl",
+        "throughput drop",
+        "L1D miss increase",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.nf.name().to_string(),
+            r.flows.to_string(),
+            match r.imp {
+                SwitchImpl::Software => "software".into(),
+                SwitchImpl::Halo => "HALO".into(),
+            },
+            format!("{}%", fmt_f64(100.0 * r.drop)),
+            format!("{}pp", fmt_f64(100.0 * r.l1_miss_increase)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_interferes_far_less_than_software() {
+        let rows = run(true);
+        for nf in ComputeNfKind::all() {
+            let sw_max = rows
+                .iter()
+                .filter(|r| r.nf == nf && r.imp == SwitchImpl::Software)
+                .map(|r| r.drop)
+                .fold(0.0, f64::max);
+            let halo_max = rows
+                .iter()
+                .filter(|r| r.nf == nf && r.imp == SwitchImpl::Halo)
+                .map(|r| r.drop)
+                .fold(0.0, f64::max);
+            // Paper: software 17-26% drop, HALO < 3.2%.
+            assert!(
+                sw_max > 0.03,
+                "{}: software switch should visibly hurt ({sw_max})",
+                nf.name()
+            );
+            assert!(
+                halo_max < sw_max,
+                "{}: HALO drop {halo_max} must be below software {sw_max}",
+                nf.name()
+            );
+            assert!(
+                halo_max < 0.12,
+                "{}: HALO drop {halo_max} too large",
+                nf.name()
+            );
+        }
+    }
+}

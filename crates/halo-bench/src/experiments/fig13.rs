@@ -1,0 +1,110 @@
+//! Fig. 13: throughput improvement of hash-table-based network
+//! functions (NAT, prads, packet filter) with HALO, across the Table 3
+//! entry counts.
+
+use halo_accel::{AcceleratorConfig, HaloEngine};
+use halo_mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nf::{HashNf, HashNfKind};
+use halo_sim::{fmt_f64, TextTable};
+
+/// One Fig. 13 bar.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig13Row {
+    /// The NF.
+    pub nf: HashNfKind,
+    /// Table entries / rules (Table 3 configuration).
+    pub entries: usize,
+    /// Software cycles per packet.
+    pub sw_cycles_per_packet: f64,
+    /// HALO cycles per packet.
+    pub halo_cycles_per_packet: f64,
+    /// Throughput speedup (software / HALO).
+    pub speedup: f64,
+}
+
+/// Runs the study over every Table 3 configuration.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Fig13Row> {
+    let packets: u64 = if quick { 60 } else { 250 };
+    let mut out = Vec::new();
+    for nf in HashNfKind::all() {
+        let mut sizes: Vec<usize> = nf
+            .table3_sizes()
+            .iter()
+            .map(|&e| if quick { e.min(10_000) } else { e })
+            .collect();
+        sizes.dedup();
+        for &entries in &sizes {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut w = HashNf::new(&mut sys, CoreId(0), nf, entries, 21);
+            w.warm(&mut sys);
+            let sw = w.run_software(&mut sys, packets);
+
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+            let mut w = HashNf::new(&mut sys, CoreId(0), nf, entries, 21);
+            w.warm(&mut sys);
+            let hw = w.run_halo(&mut sys, &mut engine, packets);
+
+            out.push(Fig13Row {
+                nf,
+                entries,
+                sw_cycles_per_packet: sw.cycles_per_packet,
+                halo_cycles_per_packet: hw.cycles_per_packet,
+                speedup: sw.cycles_per_packet / hw.cycles_per_packet,
+            });
+        }
+    }
+    out
+}
+
+/// Formats like the paper's Fig. 13.
+#[must_use]
+pub fn table(rows: &[Fig13Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "NF",
+        "entries",
+        "software cy/pkt",
+        "HALO cy/pkt",
+        "speedup",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.nf.name().to_string(),
+            r.entries.to_string(),
+            fmt_f64(r.sw_cycles_per_packet),
+            fmt_f64(r.halo_cycles_per_packet),
+            format!("{}x", fmt_f64(r.speedup)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nfs_speed_up_in_the_paper_band() {
+        let rows = run(true);
+        // Quick mode caps table sizes, deduplicating some Table 3 rows.
+        assert!(rows.len() >= 7);
+        for r in &rows {
+            // Paper: 2.3x - 2.7x. Allow a generous band around it.
+            assert!(
+                r.speedup > 1.4,
+                "{} @ {}: speedup {} too low",
+                r.nf.name(),
+                r.entries,
+                r.speedup
+            );
+            assert!(
+                r.speedup < 6.0,
+                "{} @ {}: speedup {} implausibly high",
+                r.nf.name(),
+                r.entries,
+                r.speedup
+            );
+        }
+    }
+}

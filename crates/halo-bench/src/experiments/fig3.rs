@@ -1,0 +1,137 @@
+//! Fig. 3: per-packet cycle breakdown of software packet processing in
+//! the virtual switch across the five traffic configurations.
+
+use halo_mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nf::{fig3_configs, TrafficGen};
+use halo_sim::{fmt_f64, Cycle, TextTable};
+use halo_vswitch::{Breakdown, LookupBackend, SwitchConfig, VirtualSwitch};
+
+/// One Fig. 3 bar.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Configuration label.
+    pub name: &'static str,
+    /// Average cycles per packet.
+    pub cycles_per_packet: f64,
+    /// Per-phase breakdown totals.
+    pub breakdown: Breakdown,
+    /// Fraction of time in flow classification (EMC + MegaFlow).
+    pub classification_fraction: f64,
+}
+
+/// Runs the characterization. `quick` processes fewer packets and
+/// shrinks the largest flow counts.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Fig3Row> {
+    let packets: u64 = if quick { 400 } else { 2000 };
+    let mut out = Vec::new();
+    for (name, scenario) in fig3_configs() {
+        let flows = if quick {
+            scenario.flows().min(20_000)
+        } else {
+            scenario.flows()
+        };
+        let rules = scenario.rules();
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut cfg = SwitchConfig::typical(rules, LookupBackend::Software);
+        cfg.megaflow_capacity = flows.div_ceil(rules).max(1024);
+        let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+        for id in 0..flows as u64 {
+            let key = halo_classify::PacketHeader::synthetic(id).miniflow();
+            vs.install_flow(&mut sys, &key, (id % rules as u64) as usize, 0, id)
+                .expect("tuple capacity sized for flows");
+        }
+        // Steady-state warm start: the EMC already holds its capacity's
+        // worth of flows (the hottest ranks under Zipf traffic).
+        for id in 0..(flows as u64).min(8_192) {
+            let key = halo_classify::PacketHeader::synthetic(id).miniflow();
+            vs.prime_emc(&mut sys, &key, id);
+        }
+        vs.warm_tables(&mut sys);
+
+        let mut gen = TrafficGen::new(scenario, 1234);
+        let mut t = Cycle(0);
+        for _ in 0..packets {
+            let mut pkt = gen.next_packet();
+            // Scale the flow id into the installed range for quick mode.
+            if quick {
+                pkt = halo_classify::PacketHeader::synthetic(gen.next_flow() % flows as u64);
+            }
+            let (_, done) = vs.process_packet(&mut sys, None, &pkt, t);
+            t = done;
+        }
+        out.push(Fig3Row {
+            name,
+            cycles_per_packet: vs.cycles_per_packet(),
+            breakdown: *vs.breakdown(),
+            classification_fraction: vs.breakdown().classification_fraction(),
+        });
+    }
+    out
+}
+
+/// Formats the rows like the paper's stacked-bar figure.
+#[must_use]
+pub fn table(rows: &[Fig3Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "configuration",
+        "cycles/pkt",
+        "io",
+        "preproc",
+        "emc",
+        "megaflow",
+        "other",
+        "classification%",
+    ]);
+    for r in rows {
+        let n = |c: halo_sim::Cycles| {
+            fmt_f64(c.0 as f64 / (r.breakdown.total().0 as f64 / r.cycles_per_packet))
+        };
+        t.row(vec![
+            r.name.to_string(),
+            fmt_f64(r.cycles_per_packet),
+            n(r.breakdown.io),
+            n(r.breakdown.preproc),
+            n(r.breakdown.emc),
+            n(r.breakdown.megaflow),
+            n(r.breakdown.other),
+            format!("{}%", fmt_f64(100.0 * r.classification_fraction)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_and_classification_share_grow_with_flows() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 5);
+        // Cycles per packet increase from the small-flow to the
+        // many-flow/many-rule configurations (paper: 340 -> 993).
+        assert!(
+            rows[4].cycles_per_packet > 1.5 * rows[0].cycles_per_packet,
+            "no growth: {} -> {}",
+            rows[0].cycles_per_packet,
+            rows[4].cycles_per_packet
+        );
+        // Classification share grows and dominates at the high end
+        // (paper: 30.9% -> 77.8%).
+        assert!(
+            rows[4].classification_fraction > rows[0].classification_fraction,
+            "classification share must grow"
+        );
+        assert!(
+            rows[4].classification_fraction > 0.5,
+            "classification should dominate at 20 rules: {}",
+            rows[4].classification_fraction
+        );
+        assert!(
+            rows[0].classification_fraction > 0.15,
+            "even small configs classify: {}",
+            rows[0].classification_fraction
+        );
+    }
+}

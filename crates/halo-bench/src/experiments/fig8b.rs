@@ -1,0 +1,105 @@
+//! Fig. 8b: accuracy of the linear-counting flow register — estimated
+//! vs actual flow counts for different bit-array sizes.
+
+use halo_accel::FlowRegister;
+use halo_sim::{fmt_f64, SplitMix64, TextTable};
+
+/// One Fig. 8b point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8bPoint {
+    /// Bit-array size.
+    pub bits: usize,
+    /// True number of distinct flows fed.
+    pub flows: u64,
+    /// Mean estimate across trials.
+    pub estimate: f64,
+    /// Mean relative error.
+    pub rel_error: f64,
+}
+
+/// Runs the accuracy sweep: register sizes 16/32/64 bits against flow
+/// counts up to 4x the bit count.
+#[must_use]
+pub fn run() -> Vec<Fig8bPoint> {
+    const TRIALS: u64 = 30;
+    let mut out = Vec::new();
+    for &bits in &[16usize, 32, 64] {
+        for mult in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+            let flows = ((bits as f64) * mult).round().max(1.0) as u64;
+            let mut est_sum = 0.0;
+            let mut err_sum = 0.0;
+            for trial in 0..TRIALS {
+                let mut rng = SplitMix64::new(0xF1_0B ^ trial);
+                let hashes: Vec<u64> = (0..flows).map(|_| rng.next_u64()).collect();
+                let mut reg = FlowRegister::new(bits);
+                // Several packets per flow, interleaved.
+                for _ in 0..6 {
+                    for &h in &hashes {
+                        reg.observe(h);
+                    }
+                }
+                let e = reg.estimate();
+                est_sum += e;
+                err_sum += (e - flows as f64).abs() / flows as f64;
+            }
+            out.push(Fig8bPoint {
+                bits,
+                flows,
+                estimate: est_sum / TRIALS as f64,
+                rel_error: err_sum / TRIALS as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Formats the sweep.
+#[must_use]
+pub fn table(points: &[Fig8bPoint]) -> TextTable {
+    let mut t = TextTable::new(vec!["bits", "flows", "mean estimate", "mean rel. error"]);
+    for p in points {
+        t.row(vec![
+            p.bits.to_string(),
+            p.flows.to_string(),
+            fmt_f64(p.estimate),
+            format!("{}%", fmt_f64(100.0 * p.rel_error)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_track_twice_their_bits() {
+        let pts = run();
+        // Paper (Fig 8b): a register accurately estimates ~2x more flows
+        // than its bit count.
+        for p in pts.iter().filter(|p| p.flows <= 2 * p.bits as u64) {
+            assert!(
+                p.rel_error < 0.35,
+                "{} bits / {} flows: error {}",
+                p.bits,
+                p.flows,
+                p.rel_error
+            );
+        }
+        // Far beyond 2x, accuracy degrades (saturation).
+        let worst = pts
+            .iter()
+            .filter(|p| p.flows >= 4 * p.bits as u64)
+            .map(|p| p.rel_error)
+            .fold(0.0, f64::max);
+        let best_in_range = pts
+            .iter()
+            .filter(|p| p.flows <= p.bits as u64)
+            .map(|p| p.rel_error)
+            .fold(0.0, f64::max);
+        assert!(
+            worst > best_in_range,
+            "saturated registers should be less accurate"
+        );
+    }
+}

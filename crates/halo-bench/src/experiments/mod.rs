@@ -1,0 +1,16 @@
+//! One module per reproduced table/figure, plus shared machinery.
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8b;
+pub mod fig9;
+pub mod harness;
+pub mod scaling;
+pub mod table1;
+pub mod table4;

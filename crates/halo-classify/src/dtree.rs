@@ -1,0 +1,251 @@
+//! Tree-index lookup: the paper's §4.8 extension beyond hash tables.
+//!
+//! "Halo could also benefit other lookup operations against other data
+//! structures such as tree [45, 51, 78] ... Halo accelerator can be
+//! used to conduct the comparison with the nodes in the tree."
+//!
+//! This module provides a balanced binary search tree over flow keys,
+//! laid out in simulated memory (two 32-byte nodes per cache line), with
+//! traced lookups: every node visit is a dependent load plus a key
+//! comparison — the pointer-chasing pattern that near-cache execution
+//! shortens at every step.
+
+use halo_mem::{Addr, SimMemory, CACHE_LINE};
+use halo_tables::{FlowKey, LookupTrace, TraceStep};
+
+/// Bytes per tree node: 16-byte key + left/right child indices + action.
+const NODE_SIZE: u64 = 32;
+
+/// Sentinel child index meaning "no child".
+const NIL: u32 = u32::MAX;
+
+/// A balanced binary search tree over fixed-width keys in simulated
+/// memory (a Masstree/ART-style index stand-in, §4.8).
+///
+/// # Examples
+///
+/// ```
+/// use halo_classify::DecisionTree;
+/// use halo_mem::SimMemory;
+/// use halo_tables::FlowKey;
+///
+/// let mut mem = SimMemory::new();
+/// let entries: Vec<(FlowKey, u64)> =
+///     (0..100).map(|i| (FlowKey::synthetic(i, 16), i * 2)).collect();
+/// let tree = DecisionTree::build(&mut mem, &entries);
+/// assert_eq!(tree.lookup(&mut mem, &FlowKey::synthetic(7, 16)), Some(14));
+/// assert_eq!(tree.lookup(&mut mem, &FlowKey::synthetic(500, 16)), None);
+/// ```
+#[derive(Debug)]
+pub struct DecisionTree {
+    base: Addr,
+    root: u32,
+    len: usize,
+    key_len: usize,
+    depth: usize,
+}
+
+impl DecisionTree {
+    /// Builds a balanced tree from `entries` (duplicate keys keep the
+    /// last value). Keys must share one length of at most 16 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, keys exceed 16 bytes, or lengths
+    /// differ.
+    pub fn build(mem: &mut SimMemory, entries: &[(FlowKey, u64)]) -> Self {
+        assert!(!entries.is_empty(), "empty tree");
+        let key_len = entries[0].0.len();
+        assert!(key_len <= 16, "tree keys are at most 16 bytes");
+        let mut sorted: Vec<(FlowKey, u64)> = entries.to_vec();
+        for (k, _) in &sorted {
+            assert_eq!(k.len(), key_len, "mixed key lengths");
+        }
+        sorted.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+        sorted.dedup_by(|a, b| {
+            // `dedup_by` removes `a` (the later element) when true and
+            // keeps `b`; copy the later value onto the survivor so the
+            // last write wins.
+            if a.0 == b.0 {
+                b.1 = a.1;
+                true
+            } else {
+                false
+            }
+        });
+        let n = sorted.len();
+        let base = mem.alloc_lines((n as u64 * NODE_SIZE).max(CACHE_LINE));
+
+        // Write nodes in sorted order; build a balanced BST by index.
+        for (i, (k, v)) in sorted.iter().enumerate() {
+            let a = base + i as u64 * NODE_SIZE;
+            mem.write_bytes(a, k.as_bytes());
+            mem.write_u64(a + 24, *v);
+            // children filled below
+            mem.write_u32(a + 16, NIL);
+            mem.write_u32(a + 20, NIL);
+        }
+        fn link(mem: &mut SimMemory, base: Addr, lo: usize, hi: usize, depth: &mut usize, d: usize) -> u32 {
+            if lo >= hi {
+                return NIL;
+            }
+            *depth = (*depth).max(d + 1);
+            let mid = lo + (hi - lo) / 2;
+            let left = link(mem, base, lo, mid, depth, d + 1);
+            let right = link(mem, base, mid + 1, hi, depth, d + 1);
+            let a = base + mid as u64 * NODE_SIZE;
+            mem.write_u32(a + 16, left);
+            mem.write_u32(a + 20, right);
+            mid as u32
+        }
+        let mut depth = 0;
+        let root = link(mem, base, 0, n, &mut depth, 0);
+        DecisionTree {
+            base,
+            root,
+            len: n,
+            key_len,
+            depth,
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty (never: construction requires entries).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tree height in nodes.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The tree's base address (its "table address" for HALO dispatch).
+    #[must_use]
+    pub fn base_addr(&self) -> Addr {
+        self.base
+    }
+
+    fn node_addr(&self, idx: u32) -> Addr {
+        self.base + u64::from(idx) * NODE_SIZE
+    }
+
+    fn node_key(&self, mem: &mut SimMemory, idx: u32) -> FlowKey {
+        let mut buf = vec![0u8; self.key_len];
+        mem.read_bytes(self.node_addr(idx), &mut buf);
+        FlowKey::from_bytes(&buf)
+    }
+
+    /// Functional lookup.
+    #[must_use]
+    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        self.lookup_traced(mem, key).result
+    }
+
+    /// Lookup with the recorded node-visit trace: a strictly dependent
+    /// chain of `load node -> compare key` steps.
+    #[must_use]
+    pub fn lookup_traced(&self, mem: &mut SimMemory, key: &FlowKey) -> LookupTrace {
+        assert_eq!(key.len(), self.key_len, "key length mismatch");
+        let mut steps = Vec::with_capacity(2 * self.depth);
+        let mut cur = self.root;
+        let mut result = None;
+        while cur != NIL {
+            let a = self.node_addr(cur);
+            steps.push(TraceStep::LoadKv(a));
+            steps.push(TraceStep::CompareKey);
+            let nk = self.node_key(mem, cur);
+            match key.as_bytes().cmp(nk.as_bytes()) {
+                std::cmp::Ordering::Equal => {
+                    result = Some(mem.read_u64(a + 24));
+                    break;
+                }
+                std::cmp::Ordering::Less => {
+                    cur = mem.read_u32(a + 16);
+                }
+                std::cmp::Ordering::Greater => {
+                    cur = mem.read_u32(a + 20);
+                }
+            }
+        }
+        LookupTrace { result, steps }
+    }
+
+    /// All cache lines of the node array (for warming).
+    pub fn all_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        let lines = (self.len as u64 * NODE_SIZE).div_ceil(CACHE_LINE);
+        (0..lines).map(move |i| self.base + i * CACHE_LINE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u64) -> Vec<(FlowKey, u64)> {
+        (0..n).map(|i| (FlowKey::synthetic(i, 16), i + 100)).collect()
+    }
+
+    #[test]
+    fn build_and_lookup_all() {
+        let mut mem = SimMemory::new();
+        let e = entries(500);
+        let tree = DecisionTree::build(&mut mem, &e);
+        assert_eq!(tree.len(), 500);
+        for (k, v) in &e {
+            assert_eq!(tree.lookup(&mut mem, k), Some(*v), "lost {k}");
+        }
+        assert_eq!(tree.lookup(&mut mem, &FlowKey::synthetic(10_000, 16)), None);
+    }
+
+    #[test]
+    fn balanced_depth_is_logarithmic() {
+        let mut mem = SimMemory::new();
+        let tree = DecisionTree::build(&mut mem, &entries(1024));
+        assert!(tree.depth() <= 11, "depth {} for 1024 keys", tree.depth());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last_value() {
+        let mut mem = SimMemory::new();
+        let k = FlowKey::synthetic(1, 16);
+        let tree = DecisionTree::build(&mut mem, &[(k, 1), (k, 2)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.lookup(&mut mem, &k), Some(2));
+    }
+
+    #[test]
+    fn trace_is_a_dependent_chain_of_node_visits() {
+        let mut mem = SimMemory::new();
+        let e = entries(255);
+        let tree = DecisionTree::build(&mut mem, &e);
+        let tr = tree.lookup_traced(&mut mem, &e[17].0);
+        assert_eq!(tr.result, Some(117));
+        let loads = tr.memory_steps();
+        assert!(loads >= 1 && loads <= tree.depth(), "visits {loads}");
+        // Steps alternate load / compare.
+        for pair in tr.steps.chunks(2) {
+            assert!(matches!(pair[0], TraceStep::LoadKv(_)));
+            if pair.len() > 1 {
+                assert_eq!(pair[1], TraceStep::CompareKey);
+            }
+        }
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let mut mem = SimMemory::new();
+        let k = FlowKey::synthetic(9, 16);
+        let tree = DecisionTree::build(&mut mem, &[(k, 55)]);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.lookup(&mut mem, &k), Some(55));
+        assert!(!tree.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The Exact Match Cache (EMC): the first, fastest layer of the OVS
+//! datapath (Fig. 2a).
+//!
+//! The EMC is a small direct-mapped-with-ways cache of full (unmasked)
+//! miniflow keys. It performs a single table probe with no wildcard
+//! masking; on a hit the packet skips the tuple space search entirely.
+//! Its limited size means it only helps when the active flow set is
+//! small — the effect visible in the paper's Fig. 3 breakdown.
+
+use crate::packet::MINIFLOW_LEN;
+use halo_mem::{Addr, SimMemory, CACHE_LINE};
+use halo_tables::{hash_key, FlowKey, LookupTrace, TraceStep, SEED_PRIMARY};
+
+/// Default EMC capacity in entries (OVS's `EM_FLOW_HASH_ENTRIES` = 8192).
+pub const EMC_DEFAULT_ENTRIES: usize = 8192;
+
+/// Ways probed per EMC lookup (OVS probes 2 candidate positions).
+pub const EMC_WAYS: usize = 2;
+
+/// The exact-match cache, laid out in simulated memory as an array of
+/// 64-byte slots (`key bytes | valid | value`), one slot per line.
+///
+/// # Examples
+///
+/// ```
+/// use halo_classify::Emc;
+/// use halo_mem::SimMemory;
+/// use halo_tables::FlowKey;
+///
+/// let mut mem = SimMemory::new();
+/// let mut emc = Emc::new(&mut mem, 1024);
+/// let k = FlowKey::synthetic(5, 16);
+/// emc.insert(&mut mem, &k, 42);
+/// assert_eq!(emc.lookup(&mut mem, &k), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct Emc {
+    base: Addr,
+    entries: usize,
+    insertions: u64,
+    replacements: u64,
+}
+
+impl Emc {
+    const VALID_OFF: u64 = 48;
+    const VALUE_OFF: u64 = 56;
+
+    /// Creates an EMC with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or smaller than
+    /// [`EMC_WAYS`].
+    pub fn new(mem: &mut SimMemory, entries: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries >= EMC_WAYS);
+        let base = mem.alloc_lines(entries as u64 * CACHE_LINE);
+        Emc {
+            base,
+            entries,
+            insertions: 0,
+            replacements: 0,
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Base address of the slot array (used as the EMC's "table address"
+    /// when dispatching EMC lookups to HALO accelerators).
+    #[must_use]
+    pub fn base_addr(&self) -> Addr {
+        self.base
+    }
+
+    /// Bytes the EMC occupies.
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.entries as u64 * CACHE_LINE
+    }
+
+    /// `(insertions, replacements)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.insertions, self.replacements)
+    }
+
+    fn slot_addr(&self, idx: usize) -> Addr {
+        self.base + idx as u64 * CACHE_LINE
+    }
+
+    fn candidate_slots(&self, key: &FlowKey) -> [usize; EMC_WAYS] {
+        let h = hash_key(key, SEED_PRIMARY);
+        let m = self.entries as u64;
+        [(h % m) as usize, ((h >> 32) % m) as usize]
+    }
+
+    fn slot_matches(&self, mem: &mut SimMemory, idx: usize, key: &FlowKey) -> bool {
+        let a = self.slot_addr(idx);
+        if mem.read_u8(a + Self::VALID_OFF) == 0 {
+            return false;
+        }
+        let mut buf = [0u8; MINIFLOW_LEN];
+        mem.read_bytes(a, &mut buf);
+        buf == key.as_bytes()[..MINIFLOW_LEN.min(key.len())]
+            && key.len() == MINIFLOW_LEN
+    }
+
+    /// Functional lookup.
+    #[must_use]
+    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        self.lookup_traced(mem, key).result
+    }
+
+    /// Lookup with the recorded access trace: hash, then probe up to two
+    /// slot lines with key compares.
+    #[must_use]
+    pub fn lookup_traced(&self, mem: &mut SimMemory, key: &FlowKey) -> LookupTrace {
+        let mut steps = vec![TraceStep::Hash];
+        let mut result = None;
+        for idx in self.candidate_slots(key) {
+            steps.push(TraceStep::LoadKv(self.slot_addr(idx)));
+            steps.push(TraceStep::CompareKey);
+            if self.slot_matches(mem, idx, key) {
+                result = Some(mem.read_u64(self.slot_addr(idx) + Self::VALUE_OFF));
+                break;
+            }
+        }
+        LookupTrace { result, steps }
+    }
+
+    /// Inserts `key -> value`, overwriting one of the two candidate slots
+    /// (an empty one if available, else the first — OVS's probabilistic
+    /// replacement simplified to deterministic).
+    pub fn insert(&mut self, mem: &mut SimMemory, key: &FlowKey, value: u64) {
+        assert_eq!(key.len(), MINIFLOW_LEN, "EMC keys are full miniflows");
+        self.insertions += 1;
+        let slots = self.candidate_slots(key);
+        // Prefer a matching slot (update), then an empty one.
+        let mut target = None;
+        for &idx in &slots {
+            if self.slot_matches(mem, idx, key) {
+                target = Some(idx);
+                break;
+            }
+        }
+        if target.is_none() {
+            for &idx in &slots {
+                if mem.read_u8(self.slot_addr(idx) + Self::VALID_OFF) == 0 {
+                    target = Some(idx);
+                    break;
+                }
+            }
+        }
+        let idx = target.unwrap_or_else(|| {
+            self.replacements += 1;
+            slots[0]
+        });
+        let a = self.slot_addr(idx);
+        mem.write_bytes(a, key.as_bytes());
+        mem.write_u8(a + Self::VALID_OFF, 1);
+        mem.write_u64(a + Self::VALUE_OFF, value);
+    }
+
+    /// Invalidates every slot (e.g. on rule-table changes).
+    pub fn clear(&mut self, mem: &mut SimMemory) {
+        for i in 0..self.entries {
+            mem.write_u8(self.slot_addr(i) + Self::VALID_OFF, 0);
+        }
+    }
+
+    /// All cache lines of the EMC array (for warming experiments).
+    pub fn all_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        (0..self.entries).map(|i| self.slot_addr(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketHeader;
+
+    fn key(id: u64) -> FlowKey {
+        PacketHeader::synthetic(id).miniflow()
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 256);
+        emc.insert(&mut mem, &key(1), 11);
+        emc.insert(&mut mem, &key(2), 22);
+        assert_eq!(emc.lookup(&mut mem, &key(1)), Some(11));
+        assert_eq!(emc.lookup(&mut mem, &key(2)), Some(22));
+        assert_eq!(emc.lookup(&mut mem, &key(3)), None);
+    }
+
+    #[test]
+    fn update_overwrites_value() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 256);
+        emc.insert(&mut mem, &key(1), 11);
+        emc.insert(&mut mem, &key(1), 99);
+        assert_eq!(emc.lookup(&mut mem, &key(1)), Some(99));
+    }
+
+    #[test]
+    fn small_emc_evicts_under_pressure() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 16);
+        for id in 0..200 {
+            emc.insert(&mut mem, &key(id), id);
+        }
+        let (_, repl) = emc.stats();
+        assert!(repl > 0, "pressure must cause replacements");
+        // At most `entries` keys can still hit.
+        let mut hits = 0;
+        for id in 0..200 {
+            if emc.lookup(&mut mem, &key(id)) == Some(id) {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 16);
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn trace_probes_at_most_two_lines() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 256);
+        emc.insert(&mut mem, &key(1), 11);
+        let tr = emc.lookup_traced(&mut mem, &key(1));
+        let loads = tr
+            .steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::LoadKv(_)))
+            .count();
+        assert!((1..=EMC_WAYS).contains(&loads));
+        let miss = emc.lookup_traced(&mut mem, &key(77));
+        let miss_loads = miss
+            .steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::LoadKv(_)))
+            .count();
+        assert_eq!(miss_loads, EMC_WAYS);
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 64);
+        for id in 0..32 {
+            emc.insert(&mut mem, &key(id), id);
+        }
+        emc.clear(&mut mem);
+        for id in 0..32 {
+            assert_eq!(emc.lookup(&mut mem, &key(id)), None);
+        }
+    }
+
+    #[test]
+    fn default_size_matches_ovs() {
+        let mut mem = SimMemory::new();
+        let emc = Emc::new(&mut mem, EMC_DEFAULT_ENTRIES);
+        assert_eq!(emc.entries(), 8192);
+        assert_eq!(emc.footprint(), 8192 * 64);
+    }
+}

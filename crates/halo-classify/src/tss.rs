@@ -1,0 +1,359 @@
+//! Tuple space search (TSS): the MegaFlow and OpenFlow layers of the
+//! OVS datapath (Fig. 2a).
+//!
+//! Each *tuple* is one wildcard pattern plus a cuckoo hash table of the
+//! rules sharing that pattern. Classifying a packet means masking its
+//! miniflow with each tuple's pattern and probing that tuple's table:
+//!
+//! * **MegaFlow** ([`SearchMode::FirstMatch`]) returns at the first
+//!   matching tuple;
+//! * **OpenFlow** ([`SearchMode::HighestPriority`]) probes every tuple
+//!   and keeps the highest-priority match.
+
+use crate::mask::WildcardMask;
+use halo_mem::SimMemory;
+use halo_tables::{CuckooTable, FlowKey, LookupTrace, TableFullError};
+
+/// Search semantics of a tuple space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Return the first matching tuple (MegaFlow layer).
+    FirstMatch,
+    /// Probe all tuples; return the highest-priority match (OpenFlow
+    /// layer).
+    HighestPriority,
+}
+
+/// A successful classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMatch {
+    /// Index of the tuple that matched.
+    pub tuple: usize,
+    /// Rule priority (meaningful under [`SearchMode::HighestPriority`]).
+    pub priority: u16,
+    /// The rule's action value (48 bits).
+    pub action: u64,
+}
+
+/// Encodes priority + action into a table value.
+#[must_use]
+pub fn encode_rule(priority: u16, action: u64) -> u64 {
+    assert!(action < (1 << 48), "action must fit 48 bits");
+    (u64::from(priority) << 48) | action
+}
+
+/// Decodes a table value into `(priority, action)`.
+#[must_use]
+pub fn decode_rule(value: u64) -> (u16, u64) {
+    ((value >> 48) as u16, value & ((1 << 48) - 1))
+}
+
+/// One wildcard tuple: a mask plus its rule table.
+#[derive(Debug)]
+pub struct Tuple {
+    mask: WildcardMask,
+    table: CuckooTable,
+}
+
+impl Tuple {
+    /// The tuple's wildcard mask.
+    #[must_use]
+    pub fn mask(&self) -> &WildcardMask {
+        &self.mask
+    }
+
+    /// The tuple's rule table.
+    #[must_use]
+    pub fn table(&self) -> &CuckooTable {
+        &self.table
+    }
+
+    /// Number of rules installed in this tuple.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the tuple holds no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// A tuple space: an ordered list of wildcard tuples.
+///
+/// # Examples
+///
+/// ```
+/// use halo_classify::{distinct_masks, PacketHeader, SearchMode, TupleSpace};
+/// use halo_mem::SimMemory;
+///
+/// let mut mem = SimMemory::new();
+/// let mut tss = TupleSpace::new(&mut mem, distinct_masks(2), 1024, SearchMode::FirstMatch);
+/// let pkt = PacketHeader::synthetic(7);
+/// tss.insert_rule(&mut mem, 1, &pkt.miniflow(), 5, 0xAA).unwrap();
+/// let hit = tss.classify(&mut mem, &pkt.miniflow()).unwrap();
+/// assert_eq!(hit.tuple, 1);
+/// assert_eq!(hit.action, 0xAA);
+/// ```
+#[derive(Debug)]
+pub struct TupleSpace {
+    tuples: Vec<Tuple>,
+    mode: SearchMode,
+}
+
+impl TupleSpace {
+    /// Creates a tuple space with one tuple per mask, each sized for
+    /// `entries_per_tuple` rules.
+    pub fn new(
+        mem: &mut SimMemory,
+        masks: Vec<WildcardMask>,
+        entries_per_tuple: usize,
+        mode: SearchMode,
+    ) -> Self {
+        let tuples = masks
+            .into_iter()
+            .map(|mask| Tuple {
+                mask,
+                table: CuckooTable::with_capacity_for(
+                    mem,
+                    entries_per_tuple,
+                    0.85,
+                    crate::packet::MINIFLOW_LEN,
+                ),
+            })
+            .collect();
+        TupleSpace { tuples, mode }
+    }
+
+    /// The tuples, in search order.
+    #[must_use]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Search semantics.
+    #[must_use]
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// Total rules across tuples.
+    #[must_use]
+    pub fn total_rules(&self) -> usize {
+        self.tuples.iter().map(Tuple::len).sum()
+    }
+
+    /// Installs a rule in tuple `tuple_idx`: the rule matches any key
+    /// whose masked bytes equal `key & mask`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFullError`] if the tuple's table is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple_idx` is out of range.
+    pub fn insert_rule(
+        &mut self,
+        mem: &mut SimMemory,
+        tuple_idx: usize,
+        key: &FlowKey,
+        priority: u16,
+        action: u64,
+    ) -> Result<(), TableFullError> {
+        let tuple = &mut self.tuples[tuple_idx];
+        let masked = tuple.mask.apply(key);
+        tuple
+            .table
+            .insert(mem, &masked, encode_rule(priority, action))
+    }
+
+    /// Functional classification.
+    #[must_use]
+    pub fn classify(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<RuleMatch> {
+        self.classify_traced(mem, key, false).0
+    }
+
+    /// Classification returning both the result and the per-tuple lookup
+    /// traces actually performed (in probe order). Under
+    /// [`SearchMode::FirstMatch`] probing stops at the first hit; under
+    /// [`SearchMode::HighestPriority`] every tuple is probed.
+    #[must_use]
+    pub fn classify_traced(
+        &self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        software_locking: bool,
+    ) -> (Option<RuleMatch>, Vec<(usize, LookupTrace)>) {
+        let mut probes = Vec::with_capacity(self.tuples.len());
+        let mut best: Option<RuleMatch> = None;
+        for (i, tuple) in self.tuples.iter().enumerate() {
+            let masked = tuple.mask.apply(key);
+            let tr = tuple.table.lookup_traced(mem, &masked, software_locking);
+            let result = tr.result;
+            probes.push((i, tr));
+            if let Some(v) = result {
+                let (priority, action) = decode_rule(v);
+                let m = RuleMatch {
+                    tuple: i,
+                    priority,
+                    action,
+                };
+                match self.mode {
+                    SearchMode::FirstMatch => return (Some(m), probes),
+                    SearchMode::HighestPriority => {
+                        if best.map_or(true, |b| m.priority > b.priority) {
+                            best = Some(m);
+                        }
+                    }
+                }
+            }
+        }
+        (best, probes)
+    }
+
+    /// Reference classification by linear scan over every tuple (no hash
+    /// tables): the oracle for property tests.
+    #[must_use]
+    pub fn classify_linear(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<RuleMatch> {
+        let mut best: Option<RuleMatch> = None;
+        for (i, tuple) in self.tuples.iter().enumerate() {
+            let masked = tuple.mask.apply(key);
+            if let Some(v) = tuple.table.lookup(mem, &masked) {
+                let (priority, action) = decode_rule(v);
+                let m = RuleMatch {
+                    tuple: i,
+                    priority,
+                    action,
+                };
+                match self.mode {
+                    SearchMode::FirstMatch => return Some(m),
+                    SearchMode::HighestPriority => {
+                        if best.map_or(true, |b| m.priority > b.priority) {
+                            best = Some(m);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::distinct_masks;
+    use crate::packet::PacketHeader;
+
+    fn key(id: u64) -> FlowKey {
+        PacketHeader::synthetic(id).miniflow()
+    }
+
+    #[test]
+    fn rule_encoding_roundtrip() {
+        for (p, a) in [(0u16, 0u64), (9, 0xABCD), (u16::MAX, (1 << 48) - 1)] {
+            assert_eq!(decode_rule(encode_rule(p, a)), (p, a));
+        }
+    }
+
+    #[test]
+    fn first_match_returns_earliest_tuple() {
+        let mut mem = SimMemory::new();
+        let mut tss =
+            TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::FirstMatch);
+        let k = key(7);
+        // Install the same flow in tuples 1 and 2.
+        tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
+        tss.insert_rule(&mut mem, 2, &k, 9, 200).unwrap();
+        let m = tss.classify(&mut mem, &k).unwrap();
+        assert_eq!(m.tuple, 1, "MegaFlow stops at the first match");
+        assert_eq!(m.action, 100);
+    }
+
+    #[test]
+    fn highest_priority_searches_all() {
+        let mut mem = SimMemory::new();
+        let mut tss =
+            TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::HighestPriority);
+        let k = key(7);
+        tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
+        tss.insert_rule(&mut mem, 2, &k, 9, 200).unwrap();
+        let m = tss.classify(&mut mem, &k).unwrap();
+        assert_eq!(m.tuple, 2, "OpenFlow picks the highest priority");
+        assert_eq!(m.action, 200);
+    }
+
+    #[test]
+    fn wildcard_rule_catches_many_flows() {
+        let mut mem = SimMemory::new();
+        let masks = vec![WildcardMask::exact().any_src_port().any_dst_port()];
+        let mut tss = TupleSpace::new(&mut mem, masks, 256, SearchMode::FirstMatch);
+        let base = PacketHeader::synthetic(3);
+        tss.insert_rule(&mut mem, 0, &base.miniflow(), 0, 42).unwrap();
+        // Same 5-tuple except ports: still matches.
+        let mut other = base;
+        other.src_port = base.src_port.wrapping_add(100);
+        other.dst_port = base.dst_port.wrapping_add(100);
+        let m = tss.classify(&mut mem, &other.miniflow()).unwrap();
+        assert_eq!(m.action, 42);
+    }
+
+    #[test]
+    fn miss_probes_every_tuple() {
+        let mut mem = SimMemory::new();
+        let tss = TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
+        let (m, probes) = tss.classify_traced(&mut mem, &key(1), false);
+        assert!(m.is_none());
+        assert_eq!(probes.len(), 5);
+    }
+
+    #[test]
+    fn first_match_stops_probing_early() {
+        let mut mem = SimMemory::new();
+        let mut tss =
+            TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
+        let k = key(7);
+        tss.insert_rule(&mut mem, 0, &k, 0, 1).unwrap();
+        let (_, probes) = tss.classify_traced(&mut mem, &k, false);
+        assert_eq!(probes.len(), 1);
+    }
+
+    #[test]
+    fn linear_scan_agrees_with_hashed_search() {
+        let mut mem = SimMemory::new();
+        let mut tss =
+            TupleSpace::new(&mut mem, distinct_masks(8), 512, SearchMode::HighestPriority);
+        for id in 0..200u64 {
+            let tuple = (id % 8) as usize;
+            tss.insert_rule(&mut mem, tuple, &key(id), (id % 16) as u16, id)
+                .unwrap();
+        }
+        for id in 0..300u64 {
+            let k = key(id);
+            assert_eq!(
+                tss.classify(&mut mem, &k),
+                tss.classify_linear(&mut mem, &k),
+                "divergence at id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_rules_counts_across_tuples() {
+        let mut mem = SimMemory::new();
+        let mut tss =
+            TupleSpace::new(&mut mem, distinct_masks(4), 256, SearchMode::FirstMatch);
+        for id in 0..40u64 {
+            tss.insert_rule(&mut mem, (id % 4) as usize, &key(id), 0, id)
+                .unwrap();
+        }
+        // Wildcard masks can merge distinct flows into one rule, so the
+        // total is at most 40 but must be positive.
+        let total = tss.total_rules();
+        assert!(total > 0 && total <= 40);
+        assert!(!tss.tuples()[0].is_empty() || tss.tuples()[0].len() == 0);
+    }
+}

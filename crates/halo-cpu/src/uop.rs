@@ -1,0 +1,195 @@
+//! Micro-op programs: small dependency DAGs of compute and memory
+//! operations, the unit of work the core model schedules.
+
+use halo_mem::Addr;
+
+/// Index of a micro-op within its [`Program`].
+pub type UopId = u32;
+
+/// The operation a micro-op performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// An ALU/branch/other non-memory operation with a fixed execution
+    /// latency (1 for simple ALU, 3–5 for multiplies).
+    Compute {
+        /// Execution latency in cycles.
+        latency: u64,
+    },
+    /// A load from simulated memory.
+    Load {
+        /// The byte address read.
+        addr: Addr,
+    },
+    /// A store to simulated memory.
+    Store {
+        /// The byte address written.
+        addr: Addr,
+    },
+}
+
+/// One micro-op: an operation plus the set of earlier micro-ops whose
+/// results it consumes.
+#[derive(Debug, Clone)]
+pub struct Uop {
+    /// What the op does.
+    pub kind: UopKind,
+    /// Data dependencies (indices of earlier uops in the same program).
+    pub deps: Vec<UopId>,
+}
+
+/// A dependency DAG of micro-ops in program order.
+///
+/// # Examples
+///
+/// ```
+/// use halo_cpu::Program;
+/// use halo_mem::Addr;
+///
+/// let mut p = Program::new();
+/// let k = p.load(Addr(64), &[]);
+/// let h = p.compute(3, &[k]);     // hash depends on the key load
+/// let b = p.load(Addr(128), &[h]); // bucket fetch depends on the hash
+/// let _ = p.compute(1, &[b]);
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    uops: Vec<Uop>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    fn push(&mut self, kind: UopKind, deps: &[UopId]) -> UopId {
+        let id = self.uops.len() as UopId;
+        for &d in deps {
+            assert!(d < id, "dependency on a later uop");
+        }
+        self.uops.push(Uop {
+            kind,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Appends a compute uop.
+    pub fn compute(&mut self, latency: u64, deps: &[UopId]) -> UopId {
+        self.push(UopKind::Compute { latency }, deps)
+    }
+
+    /// Appends a load uop.
+    pub fn load(&mut self, addr: Addr, deps: &[UopId]) -> UopId {
+        self.push(UopKind::Load { addr }, deps)
+    }
+
+    /// Appends a store uop.
+    pub fn store(&mut self, addr: Addr, deps: &[UopId]) -> UopId {
+        self.push(UopKind::Store { addr }, deps)
+    }
+
+    /// Appends every uop of `other`, shifting its dependencies, and makes
+    /// its roots depend on `after` (sequencing two logical operations).
+    /// Returns the id of `other`'s last uop (or `after`'s last element /
+    /// 0-sized fallback if `other` is empty).
+    pub fn append(&mut self, other: &Program, after: &[UopId]) -> Option<UopId> {
+        let base = self.uops.len() as UopId;
+        for uop in &other.uops {
+            let mut deps: Vec<UopId> = uop.deps.iter().map(|d| d + base).collect();
+            if uop.deps.is_empty() {
+                deps.extend_from_slice(after);
+            }
+            self.uops.push(Uop {
+                kind: uop.kind,
+                deps,
+            });
+        }
+        if other.uops.is_empty() {
+            None
+        } else {
+            Some(self.uops.len() as UopId - 1)
+        }
+    }
+
+    /// The micro-ops in program order.
+    #[must_use]
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Number of micro-ops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Counts of (loads, stores, computes).
+    #[must_use]
+    pub fn mix(&self) -> (usize, usize, usize) {
+        let mut l = 0;
+        let mut s = 0;
+        let mut c = 0;
+        for u in &self.uops {
+            match u.kind {
+                UopKind::Load { .. } => l += 1,
+                UopKind::Store { .. } => s += 1,
+                UopKind::Compute { .. } => c += 1,
+            }
+        }
+        (l, s, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_mix() {
+        let mut p = Program::new();
+        let a = p.load(Addr(64), &[]);
+        let b = p.compute(1, &[a]);
+        p.store(Addr(128), &[b]);
+        assert_eq!(p.mix(), (1, 1, 1));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on a later uop")]
+    fn forward_dependency_rejected() {
+        let mut p = Program::new();
+        p.compute(1, &[5]);
+    }
+
+    #[test]
+    fn append_rebases_dependencies() {
+        let mut head = Program::new();
+        let root = head.compute(1, &[]);
+        let mut tail = Program::new();
+        let t0 = tail.load(Addr(64), &[]);
+        tail.compute(1, &[t0]);
+        let last = head.append(&tail, &[root]).unwrap();
+        assert_eq!(last, 2);
+        // tail's root now depends on head's root.
+        assert_eq!(head.uops()[1].deps, vec![root]);
+        // tail's second op depends on the rebased first.
+        assert_eq!(head.uops()[2].deps, vec![1]);
+    }
+
+    #[test]
+    fn append_empty_returns_none() {
+        let mut head = Program::new();
+        head.compute(1, &[]);
+        assert!(head.append(&Program::new(), &[0]).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Physical addresses and cache-line addressing.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Size of one cache line in bytes (64 B, as in all modern x86 servers;
+/// the paper's hash-table buckets are laid out to occupy exactly one).
+pub const CACHE_LINE: u64 = 64;
+
+/// A simulated physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-line-granular address (byte address >> 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// The null address. The allocator never hands this out, so it can be
+    /// used as a sentinel.
+    pub const NULL: Addr = Addr(0);
+
+    /// The cache line containing this byte.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / CACHE_LINE)
+    }
+
+    /// Byte offset within the containing cache line.
+    #[must_use]
+    pub fn line_offset(self) -> u64 {
+        self.0 % CACHE_LINE
+    }
+
+    /// Returns `true` for the null sentinel.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte address advanced by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl LineAddr {
+    /// First byte of this line.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * CACHE_LINE)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Identifier of a hardware core (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+/// Identifier of an LLC slice / CHA (0-based). Each slice hosts one CHA
+/// and, in HALO, one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SliceId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(Addr(130).line_offset(), 2);
+        assert_eq!(LineAddr(3).base(), Addr(192));
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(64).is_null());
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        assert_eq!(Addr(100).offset(28), Addr(128));
+        assert_eq!(Addr(100) + 28, Addr(128));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(SliceId(7).to_string(), "slice7");
+    }
+}

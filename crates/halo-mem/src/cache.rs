@@ -1,0 +1,331 @@
+//! Set-associative cache arrays with LRU replacement and per-line
+//! coherence metadata.
+//!
+//! The arrays track *presence and state only*; data always lives in
+//! [`SimMemory`](crate::SimMemory). That is sufficient because the timing
+//! model cares about where a line is, not about duplicating its bytes.
+
+use crate::addr::LineAddr;
+use crate::config::CacheGeometry;
+
+/// Coherence state of a cached line (MESI without the E optimization:
+/// lines enter S on reads and M on writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Shared, clean.
+    Shared,
+    /// Modified, dirty.
+    Modified,
+}
+
+/// Metadata for one cached line.
+#[derive(Debug, Clone)]
+pub struct LineMeta {
+    /// Which line this way currently holds.
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// LRU timestamp (monotonic per array).
+    pub lru: u64,
+    /// Bitmask of cores holding the line (LLC directory only).
+    pub sharers: u64,
+    /// HALO hardware lock bit (LLC only): set while an accelerator query
+    /// holds the line; modifications are refused until cleared.
+    pub locked: bool,
+    /// Core-valid bit for accelerator metadata caches (LLC only): set
+    /// when a CHA metadata cache holds a copy of this line.
+    pub accel_cv: bool,
+}
+
+/// What happened to a victim on insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// No line was displaced.
+    None,
+    /// A clean line was silently dropped.
+    Clean(LineAddr),
+    /// A dirty line must be written back; carries its sharers mask so
+    /// inclusive caches can back-invalidate.
+    Dirty(LineAddr),
+}
+
+/// A set-associative array with strict-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` slots; `None` = invalid way.
+    slots: Vec<Option<LineMeta>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheArray {
+    /// Builds an empty array from a geometry.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        CacheArray {
+            sets,
+            ways: geom.ways,
+            slots: vec![None; sets * geom.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        // Mix upper bits in so that power-of-two strides (hash-table
+        // buckets) don't all collide on the same set.
+        let h = line.0 ^ (line.0 >> 13);
+        (h as usize) & (self.sets - 1)
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let s = self.set_index(line);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    /// Looks up `line`, updating LRU and hit/miss counters. Returns a
+    /// mutable reference to the line's metadata on hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let mut found: Option<usize> = None;
+        for i in range {
+            if let Some(meta) = &self.slots[i] {
+                if meta.line == line {
+                    found = Some(i);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(i) => {
+                self.hits += 1;
+                let meta = self.slots[i].as_mut().expect("hit slot valid");
+                meta.lru = tick;
+                Some(meta)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without perturbing LRU or counters.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
+        self.set_range(line)
+            .filter_map(|i| self.slots[i].as_ref())
+            .find(|m| m.line == line)
+    }
+
+    /// Mutable peek without LRU/counter side effects.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        let range = self.set_range(line);
+        self.slots[range]
+            .iter_mut()
+            .filter_map(Option::as_mut)
+            .find(|m| m.line == line)
+    }
+
+    /// Inserts `line` (which must not be present), evicting the LRU way if
+    /// the set is full. Locked lines are never chosen as victims.
+    pub fn insert(&mut self, line: LineAddr, state: LineState) -> Eviction {
+        debug_assert!(self.peek(line).is_none(), "double insert of {line}");
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let meta = LineMeta {
+            line,
+            state,
+            lru: tick,
+            sharers: 0,
+            locked: false,
+            accel_cv: false,
+        };
+        // Free way?
+        for i in range.clone() {
+            if self.slots[i].is_none() {
+                self.slots[i] = Some(meta);
+                return Eviction::None;
+            }
+        }
+        // Evict LRU among unlocked ways.
+        let victim = range
+            .clone()
+            .filter(|&i| !self.slots[i].as_ref().expect("full set").locked)
+            .min_by_key(|&i| self.slots[i].as_ref().expect("full set").lru)
+            // Pathological case: every way locked. Fall back to raw LRU —
+            // the timing model will have serialized those queries anyway.
+            .unwrap_or_else(|| {
+                range
+                    .clone()
+                    .min_by_key(|&i| self.slots[i].as_ref().expect("full set").lru)
+                    .expect("non-empty set")
+            });
+        let old = self.slots[victim].replace(meta).expect("victim valid");
+        match old.state {
+            LineState::Modified => Eviction::Dirty(old.line),
+            LineState::Shared => Eviction::Clean(old.line),
+        }
+    }
+
+    /// Removes `line` if present, returning its metadata.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let range = self.set_range(line);
+        for i in range {
+            if self.slots[i].as_ref().is_some_and(|m| m.line == line) {
+                return self.slots[i].take();
+            }
+        }
+        None
+    }
+
+    /// Hit count since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total capacity in lines.
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Drops all lines and counters.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways of 64B lines = 256B.
+        CacheArray::new(CacheGeometry {
+            capacity: 256,
+            ways: 2,
+        })
+    }
+
+    /// Two distinct lines that map to the same set of `c`.
+    fn same_set_lines(c: &CacheArray) -> (LineAddr, LineAddr, LineAddr) {
+        let base = LineAddr(1);
+        let mut found = Vec::new();
+        for i in 2..1000 {
+            let cand = LineAddr(i);
+            if c.set_index(cand) == c.set_index(base) {
+                found.push(cand);
+                if found.len() == 2 {
+                    break;
+                }
+            }
+        }
+        (base, found[0], found[1])
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.lookup(LineAddr(5)).is_none());
+        c.insert(LineAddr(5), LineState::Shared);
+        assert!(c.lookup(LineAddr(5)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        let (a, b, d) = same_set_lines(&c);
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        // Touch `a` so `b` becomes LRU.
+        assert!(c.lookup(a).is_some());
+        let ev = c.insert(d, LineState::Shared);
+        assert_eq!(ev, Eviction::Clean(b));
+        assert!(c.peek(a).is_some());
+        assert!(c.peek(b).is_none());
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        let (a, b, d) = same_set_lines(&c);
+        c.insert(a, LineState::Modified);
+        c.insert(b, LineState::Shared);
+        assert!(c.lookup(b).is_some()); // make `a` LRU
+        let ev = c.insert(d, LineState::Shared);
+        assert_eq!(ev, Eviction::Dirty(a));
+    }
+
+    #[test]
+    fn locked_lines_survive_eviction() {
+        let mut c = tiny();
+        let (a, b, d) = same_set_lines(&c);
+        c.insert(a, LineState::Shared);
+        c.peek_mut(a).unwrap().locked = true;
+        c.insert(b, LineState::Shared);
+        // `a` is LRU but locked, so `b` must be the victim.
+        let ev = c.insert(d, LineState::Shared);
+        assert_eq!(ev, Eviction::Clean(b));
+        assert!(c.peek(a).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(LineAddr(9), LineState::Modified);
+        let meta = c.invalidate(LineAddr(9)).unwrap();
+        assert_eq!(meta.state, LineState::Modified);
+        assert!(c.peek(LineAddr(9)).is_none());
+        assert!(c.invalidate(LineAddr(9)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = tiny();
+        c.insert(LineAddr(1), LineState::Shared);
+        let (h, m) = (c.hits(), c.misses());
+        let _ = c.peek(LineAddr(1));
+        let _ = c.peek(LineAddr(2));
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn resident_tracks_occupancy() {
+        let mut c = tiny();
+        assert_eq!(c.resident(), 0);
+        c.insert(LineAddr(1), LineState::Shared);
+        c.insert(LineAddr(2), LineState::Shared);
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.capacity_lines(), 4);
+        c.clear();
+        assert_eq!(c.resident(), 0);
+    }
+}

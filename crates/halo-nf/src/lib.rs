@@ -1,0 +1,40 @@
+//! # halo-nf
+//!
+//! Network-function workloads and traffic generation for the HALO
+//! evaluation:
+//!
+//! * [`TrafficGen`] / [`Scenario`] — the IXIA-like synthetic packet
+//!   source with the five Fig. 3 configurations
+//!   ([`fig3_configs`]).
+//! * [`ComputeNf`] — ACL / Snort / mTCP models for the co-location
+//!   interference study (Fig. 12).
+//! * [`HashNf`] — NAT / prads / packet-filter models, the hash-table-
+//!   dominated NFs HALO accelerates end to end (Fig. 13, Table 3).
+//! * [`colocation_experiment`] — the SMT co-run harness measuring NF
+//!   throughput loss and L1D pollution under a software or HALO switch
+//!   sibling.
+//!
+//! # Examples
+//!
+//! ```
+//! use halo_nf::{fig3_configs, TrafficGen};
+//!
+//! let (name, scenario) = fig3_configs()[0];
+//! let mut gen = TrafficGen::new(scenario, 7);
+//! let pkt = gen.next_packet();
+//! assert!(!name.is_empty());
+//! assert_eq!(pkt.miniflow().len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod colocate;
+mod compute_nf;
+mod hash_nf;
+mod traffic;
+
+pub use colocate::{colocation_experiment, ColocationReport, SwitchImpl};
+pub use compute_nf::{ComputeNf, ComputeNfKind};
+pub use hash_nf::{HashNf, HashNfKind, HashNfReport};
+pub use traffic::{fig3_configs, Scenario, TrafficGen};

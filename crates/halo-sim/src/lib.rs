@@ -1,0 +1,46 @@
+//! # halo-sim
+//!
+//! Deterministic simulation substrate for the HALO reproduction
+//! (Yuan et al., *HALO: Accelerating Flow Classification for Scalable
+//! Packet Processing in NFV*, ISCA 2019).
+//!
+//! This crate provides the timing, randomness, and statistics primitives
+//! every other crate in the workspace builds on:
+//!
+//! * [`Cycle`] / [`Cycles`] — absolute times and durations in core cycles.
+//! * [`Resource`], [`BankedResource`], [`OutstandingWindow`] — the
+//!   latency + occupancy model used for cache banks, CHA ports,
+//!   accelerator hash units, DRAM channels, MSHRs, and scoreboards.
+//! * [`SplitMix64`] / [`Zipf`] — seeded, reproducible random streams for
+//!   workload generation.
+//! * [`Stats`] — counter/summary registry each component reports into.
+//! * [`TextTable`] — shared result-table formatter for the experiment
+//!   harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use halo_sim::{Cycle, Cycles, Resource};
+//!
+//! // Model an unpipelined 34-cycle LLC slice bank.
+//! let mut bank = Resource::unpipelined("llc-bank", Cycles(34));
+//! let first = bank.serve(Cycle(0));
+//! let second = bank.serve(Cycle(0)); // queues behind the first
+//! assert_eq!(first, Cycle(34));
+//! assert_eq!(second, Cycle(68));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cycle;
+mod resource;
+mod rng;
+mod stats;
+mod table;
+
+pub use cycle::{Cycle, Cycles, CORE_HZ};
+pub use resource::{BankedResource, OutstandingWindow, Resource};
+pub use rng::{SplitMix64, Zipf};
+pub use stats::{Counter, Stats, Summary};
+pub use table::{fmt_f64, TextTable};

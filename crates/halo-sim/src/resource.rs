@@ -1,0 +1,463 @@
+//! Latency + occupancy timing primitives.
+//!
+//! The simulator uses the classic "latency and occupancy" discrete-time
+//! model: each hardware structure (cache bank, CHA ingress port, hash
+//! unit, DRAM channel) is a [`Resource`] that serves requests in order.
+//! A request arriving at time `t` occupies the resource for its
+//! *occupancy* (initiation interval) and completes after its *latency*.
+//! Pipelined units have occupancy < latency; unpipelined ones have
+//! occupancy == latency.
+
+use crate::cycle::{Cycle, Cycles};
+
+/// A single-server, in-order resource with configurable initiation
+/// interval (occupancy) per request.
+///
+/// # Examples
+///
+/// ```
+/// use halo_sim::{Cycle, Cycles, Resource};
+///
+/// // A fully pipelined unit: 3-cycle latency, new request every cycle.
+/// let mut unit = Resource::pipelined("hash", Cycles(3));
+/// let a = unit.serve(Cycle(0));
+/// let b = unit.serve(Cycle(0));
+/// assert_eq!(a, Cycle(3));
+/// assert_eq!(b, Cycle(4)); // issued one cycle later
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    latency: Cycles,
+    occupancy: Cycles,
+    /// Reserved busy intervals `[start, end)`, sorted and disjoint.
+    ///
+    /// Interval tracking (rather than a scalar `next_free`) keeps the
+    /// model causal when *independent* requesters reserve the resource
+    /// out of program order: a request arriving earlier in simulated
+    /// time slots into any idle gap instead of queueing behind
+    /// later-in-time reservations made by an earlier `serve` call.
+    intervals: Vec<(u64, u64)>,
+    /// Times before this are compacted away; requests arriving earlier
+    /// are conservatively bumped to it.
+    floor: u64,
+    served: u64,
+    busy: Cycles,
+}
+
+/// Intervals retained before compaction kicks in.
+const MAX_INTERVALS: usize = 256;
+
+impl Resource {
+    /// Creates a resource with independent latency and occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is zero (a zero initiation interval would
+    /// admit unbounded throughput).
+    #[must_use]
+    pub fn new(name: &'static str, latency: Cycles, occupancy: Cycles) -> Self {
+        assert!(occupancy.0 > 0, "resource {name} with zero occupancy");
+        Resource {
+            name,
+            latency,
+            occupancy,
+            intervals: Vec::new(),
+            floor: 0,
+            served: 0,
+            busy: Cycles::ZERO,
+        }
+    }
+
+    /// A fully pipelined resource: one new request per cycle, `latency`
+    /// cycles to complete each.
+    #[must_use]
+    pub fn pipelined(name: &'static str, latency: Cycles) -> Self {
+        Resource::new(name, latency, Cycles(1))
+    }
+
+    /// An unpipelined resource: busy for the whole `latency`.
+    #[must_use]
+    pub fn unpipelined(name: &'static str, latency: Cycles) -> Self {
+        Resource::new(name, latency, latency)
+    }
+
+    /// Reserves the first idle window of `self.occupancy` cycles at or
+    /// after `at`, returning its start.
+    fn reserve(&mut self, at: Cycle) -> Cycle {
+        let need = self.occupancy.0;
+        let mut start = at.0.max(self.floor);
+        // Walk intervals (sorted) looking for a gap.
+        let mut insert_at = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if start + need <= s {
+                insert_at = i;
+                break;
+            }
+            if start < e {
+                start = e;
+            }
+        }
+        self.intervals.insert(insert_at, (start, start + need));
+        // Merge neighbours that now touch.
+        if insert_at + 1 < self.intervals.len()
+            && self.intervals[insert_at].1 >= self.intervals[insert_at + 1].0
+        {
+            let next = self.intervals.remove(insert_at + 1);
+            self.intervals[insert_at].1 = self.intervals[insert_at].1.max(next.1);
+        }
+        if insert_at > 0 && self.intervals[insert_at - 1].1 >= self.intervals[insert_at].0 {
+            let cur = self.intervals.remove(insert_at);
+            self.intervals[insert_at - 1].1 = self.intervals[insert_at - 1].1.max(cur.1);
+        }
+        // Compact old history: requests rarely arrive far in the past.
+        if self.intervals.len() > MAX_INTERVALS {
+            let drop = self.intervals.len() - MAX_INTERVALS / 2;
+            self.floor = self.intervals[drop - 1].1;
+            self.intervals.drain(..drop);
+        }
+        self.served += 1;
+        self.busy += self.occupancy;
+        Cycle(start)
+    }
+
+    /// Serves a request arriving at `at`; returns its completion time.
+    ///
+    /// The request occupies the first idle window of `occupancy` cycles
+    /// at or after `at` and completes `latency` cycles after it starts
+    /// service.
+    pub fn serve(&mut self, at: Cycle) -> Cycle {
+        self.reserve(at) + self.latency
+    }
+
+    /// Like [`serve`](Self::serve) but with a request-specific latency
+    /// (occupancy still fixed); used where service time depends on the
+    /// request (e.g. DRAM row hit vs miss).
+    pub fn serve_with_latency(&mut self, at: Cycle, latency: Cycles) -> Cycle {
+        self.reserve(at) + latency
+    }
+
+    /// The earliest time a new request could start service if it
+    /// arrived now (end of the last reservation).
+    #[must_use]
+    pub fn next_free(&self) -> Cycle {
+        Cycle(self.intervals.last().map_or(self.floor, |&(_, e)| e))
+    }
+
+    /// Whether a request arriving at `at` would have to wait.
+    #[must_use]
+    pub fn is_busy_at(&self, at: Cycle) -> bool {
+        let need = self.occupancy.0;
+        let t = at.0;
+        if t < self.floor {
+            return true;
+        }
+        self.intervals
+            .iter()
+            .any(|&(s, e)| t >= s.saturating_sub(need - 1) && t < e)
+    }
+
+    /// Number of requests served so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total busy time accumulated.
+    #[must_use]
+    pub fn busy(&self) -> Cycles {
+        self.busy
+    }
+
+    /// Utilization in `[0, 1]` over the window ending at `now`.
+    #[must_use]
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        if now.0 == 0 {
+            0.0
+        } else {
+            (self.busy.0 as f64 / now.0 as f64).min(1.0)
+        }
+    }
+
+    /// The resource's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets the resource to idle at time zero (statistics cleared).
+    pub fn reset(&mut self) {
+        self.intervals.clear();
+        self.floor = 0;
+        self.served = 0;
+        self.busy = Cycles::ZERO;
+    }
+
+    /// Serves a request that overlaps out-of-order with other
+    /// requesters: identical to [`serve`](Self::serve) (interval
+    /// reservation already handles this); kept for call-site clarity.
+    pub fn serve_unordered(&mut self, at: Cycle) -> Cycle {
+        self.serve(at)
+    }
+}
+
+/// A bank-interleaved resource: `n` identical servers, requests routed by
+/// an explicit bank index (e.g. address-hashed LLC banks).
+#[derive(Debug, Clone)]
+pub struct BankedResource {
+    banks: Vec<Resource>,
+}
+
+impl BankedResource {
+    /// Creates `n` identical banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `occupancy` is zero.
+    #[must_use]
+    pub fn new(name: &'static str, n: usize, latency: Cycles, occupancy: Cycles) -> Self {
+        assert!(n > 0, "banked resource with zero banks");
+        BankedResource {
+            banks: (0..n).map(|_| Resource::new(name, latency, occupancy)).collect(),
+        }
+    }
+
+    /// Serves a request on bank `bank % n`.
+    pub fn serve(&mut self, bank: usize, at: Cycle) -> Cycle {
+        let n = self.banks.len();
+        self.banks[bank % n].serve(at)
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Always false (constructed non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total requests served across banks.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.banks.iter().map(Resource::served).sum()
+    }
+
+    /// Resets all banks.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.reset();
+        }
+    }
+}
+
+/// A token-limited window, modeling structures that cap the number of
+/// simultaneously outstanding operations (MSHRs, scoreboard slots,
+/// load/store-queue entries).
+///
+/// Completion times are tracked so a new acquisition at time `t` blocks
+/// until the oldest outstanding operation has completed.
+#[derive(Debug, Clone)]
+pub struct OutstandingWindow {
+    capacity: usize,
+    /// Completion times of in-flight operations (unordered).
+    inflight: Vec<Cycle>,
+    stalls: u64,
+}
+
+impl OutstandingWindow {
+    /// Creates a window admitting at most `capacity` concurrent operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity window");
+        OutstandingWindow {
+            capacity,
+            inflight: Vec::with_capacity(capacity),
+            stalls: 0,
+        }
+    }
+
+    /// Acquires a slot for an operation arriving at `at`; returns the time
+    /// the slot becomes available (>= `at`). The caller must then
+    /// [`commit`](Self::commit) the operation's completion time.
+    pub fn acquire(&mut self, at: Cycle) -> Cycle {
+        // Drop entries that completed by `at`.
+        self.inflight.retain(|&c| c > at);
+        if self.inflight.len() < self.capacity {
+            return at;
+        }
+        // Must wait for the earliest completion.
+        let (idx, &earliest) = self
+            .inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .expect("window full implies non-empty");
+        self.inflight.swap_remove(idx);
+        self.stalls += 1;
+        earliest.max(at)
+    }
+
+    /// Registers the completion time of an operation whose slot was
+    /// acquired.
+    pub fn commit(&mut self, completes_at: Cycle) {
+        self.inflight.push(completes_at);
+    }
+
+    /// The completion time of the last outstanding operation, i.e. when
+    /// the window fully drains (`at` if already empty).
+    #[must_use]
+    pub fn drain_time(&self, at: Cycle) -> Cycle {
+        self.inflight
+            .iter()
+            .copied()
+            .fold(at, Cycle::max)
+    }
+
+    /// Number of times acquisition had to wait for a completion.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Maximum concurrent operations.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears all in-flight state.
+    pub fn reset(&mut self) {
+        self.inflight.clear();
+        self.stalls = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_resource_overlaps() {
+        let mut r = Resource::pipelined("p", Cycles(10));
+        assert_eq!(r.serve(Cycle(0)), Cycle(10));
+        assert_eq!(r.serve(Cycle(0)), Cycle(11));
+        assert_eq!(r.serve(Cycle(0)), Cycle(12));
+        assert_eq!(r.served(), 3);
+    }
+
+    #[test]
+    fn unpipelined_resource_serializes() {
+        let mut r = Resource::unpipelined("u", Cycles(10));
+        assert_eq!(r.serve(Cycle(0)), Cycle(10));
+        assert_eq!(r.serve(Cycle(0)), Cycle(20));
+    }
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = Resource::pipelined("p", Cycles(5));
+        r.serve(Cycle(0));
+        assert!(!r.is_busy_at(Cycle(100)));
+        assert_eq!(r.serve(Cycle(100)), Cycle(105));
+    }
+
+    #[test]
+    fn variable_latency_service() {
+        let mut r = Resource::new("dram", Cycles(100), Cycles(4));
+        assert_eq!(r.serve_with_latency(Cycle(0), Cycles(50)), Cycle(50));
+        assert_eq!(r.serve_with_latency(Cycle(0), Cycles(50)), Cycle(54));
+    }
+
+    #[test]
+    fn banked_resource_routes_by_bank() {
+        let mut b = BankedResource::new("bank", 2, Cycles(10), Cycles(10));
+        assert_eq!(b.serve(0, Cycle(0)), Cycle(10));
+        assert_eq!(b.serve(1, Cycle(0)), Cycle(10)); // different bank, no wait
+        assert_eq!(b.serve(2, Cycle(0)), Cycle(20)); // wraps to bank 0
+        assert_eq!(b.served(), 3);
+    }
+
+    #[test]
+    fn window_limits_concurrency() {
+        let mut w = OutstandingWindow::new(2);
+        let t0 = w.acquire(Cycle(0));
+        assert_eq!(t0, Cycle(0));
+        w.commit(Cycle(100));
+        let t1 = w.acquire(Cycle(0));
+        assert_eq!(t1, Cycle(0));
+        w.commit(Cycle(50));
+        // Window full; next acquire waits for earliest completion (50).
+        let t2 = w.acquire(Cycle(0));
+        assert_eq!(t2, Cycle(50));
+        assert_eq!(w.stalls(), 1);
+    }
+
+    #[test]
+    fn window_drain_time() {
+        let mut w = OutstandingWindow::new(4);
+        w.acquire(Cycle(0));
+        w.commit(Cycle(30));
+        w.acquire(Cycle(0));
+        w.commit(Cycle(70));
+        assert_eq!(w.drain_time(Cycle(0)), Cycle(70));
+        assert_eq!(w.drain_time(Cycle(80)), Cycle(80));
+    }
+
+    #[test]
+    fn window_expires_completed_entries() {
+        let mut w = OutstandingWindow::new(1);
+        w.acquire(Cycle(0));
+        w.commit(Cycle(10));
+        // At time 20 the previous op has completed; no stall.
+        assert_eq!(w.acquire(Cycle(20)), Cycle(20));
+        assert_eq!(w.stalls(), 0);
+    }
+
+    #[test]
+    fn out_of_order_requests_fill_gaps() {
+        let mut r = Resource::new("port", Cycles(26), Cycles(2));
+        // A late-in-time request reserved first...
+        let late = r.serve(Cycle(100));
+        assert_eq!(late, Cycle(126));
+        // ...must not delay an earlier-in-time independent request.
+        let early = r.serve(Cycle(10));
+        assert_eq!(early, Cycle(36), "early request should use the idle gap");
+    }
+
+    #[test]
+    fn gap_too_small_is_skipped() {
+        let mut r = Resource::new("u", Cycles(4), Cycles(4));
+        r.serve(Cycle(0)); // busy [0,4)
+        r.serve(Cycle(6)); // busy [6,10)
+        // A request at 3 needs 4 idle cycles; gap [4,6) is too small.
+        let done = r.serve(Cycle(3));
+        assert_eq!(done, Cycle(14), "must start at 10");
+    }
+
+    #[test]
+    fn compaction_keeps_working() {
+        let mut r = Resource::pipelined("p", Cycles(1));
+        for i in 0..2000u64 {
+            r.serve(Cycle(i * 3));
+        }
+        // Still serves correctly after compaction.
+        let done = r.serve(Cycle(10_000));
+        assert_eq!(done, Cycle(10_001));
+        assert_eq!(r.served(), 2001);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut r = Resource::unpipelined("u", Cycles(10));
+        r.serve(Cycle(0));
+        assert!((r.utilization(Cycle(20)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(Cycle::ZERO), 0.0);
+    }
+}

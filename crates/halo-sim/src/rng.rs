@@ -1,0 +1,234 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic choice in the simulator (workload generation, hash
+//! seeds, query arrival jitter) draws from [`SplitMix64`], seeded
+//! explicitly, so that every experiment is bit-for-bit reproducible.
+
+/// A `SplitMix64` pseudo-random number generator.
+///
+/// Small, fast, and statistically sound for simulation purposes
+/// (it is the recommended seeder for the xoshiro family). Not
+/// cryptographically secure.
+///
+/// # Examples
+///
+/// ```
+/// use halo_sim::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next pseudo-random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection-free approximation is fine here:
+        // simulation workloads tolerate the tiny modulo bias of widening
+        // multiply without rejection.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated component its own stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n`.
+///
+/// Used to model skewed flow popularity (a small set of "hot" flows takes
+/// most of the traffic), the regime the paper's EMC layer exploits.
+///
+/// # Examples
+///
+/// ```
+/// use halo_sim::{SplitMix64, Zipf};
+///
+/// let mut rng = SplitMix64::new(7);
+/// let zipf = Zipf::new(1000, 0.99);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution over ranks, `cdf[i]` = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` ranks with exponent `theta`.
+    ///
+    /// `theta == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has exactly one rank.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // constructed with n > 0
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut parent = SplitMix64::new(3);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SplitMix64::new(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut rng = SplitMix64::new(5);
+        let zipf = Zipf::new(1000, 1.0);
+        let mut low = 0usize;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if zipf.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With theta=1 over 1000 ranks, the top 10 ranks carry ~39% of mass.
+        assert!(low > SAMPLES / 4, "zipf not skewed: {low}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniformish() {
+        let mut rng = SplitMix64::new(6);
+        let zipf = Zipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1_500 && c < 2_500, "non-uniform bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SplitMix64::new(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

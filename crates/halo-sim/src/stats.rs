@@ -1,0 +1,295 @@
+//! Lightweight statistics collection: counters, ratios, and histograms.
+//!
+//! Every simulated component exposes its behaviour through a [`Stats`]
+//! registry so that experiments can print the same quantities the paper
+//! reports (misses per kilo-load, stall ratios, per-stage cycle
+//! breakdowns) without touching component internals.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// An online mean/min/max accumulator over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or +inf if empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf if empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A string-keyed registry of counters and summaries.
+///
+/// Keys use `component.metric` dotted paths by convention, e.g.
+/// `"l1d.miss"` or `"accel3.queries"`.
+///
+/// # Examples
+///
+/// ```
+/// use halo_sim::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.bump("l1d.hit");
+/// stats.bump_by("l1d.miss", 3);
+/// assert_eq!(stats.counter("l1d.miss"), 3);
+/// assert!((stats.ratio("l1d.miss", "l1d.hit") - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, Counter>,
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments counter `key` by one, creating it if absent.
+    pub fn bump(&mut self, key: &str) {
+        self.bump_by(key, 1);
+    }
+
+    /// Increments counter `key` by `n`, creating it if absent.
+    pub fn bump_by(&mut self, key: &str, n: u64) {
+        self.counters.entry_or_default(key).add(n);
+    }
+
+    /// Current value of counter `key` (0 if never bumped).
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.get())
+    }
+
+    /// Records a sample into summary `key`, creating it if absent.
+    pub fn record(&mut self, key: &str, v: f64) {
+        self.summaries
+            .entry(key.to_owned())
+            .or_insert_with(Summary::new)
+            .record(v);
+    }
+
+    /// Returns summary `key`, if any samples were recorded.
+    #[must_use]
+    pub fn summary(&self, key: &str) -> Option<&Summary> {
+        self.summaries.get(key)
+    }
+
+    /// Ratio of two counters; 0.0 when the denominator is zero.
+    #[must_use]
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.counter(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.counter(num) as f64 / d as f64
+        }
+    }
+
+    /// Misses per kilo-event: `1000 * miss / events` (the paper's MPKL
+    /// metric when `events` counts retired loads).
+    #[must_use]
+    pub fn per_kilo(&self, num: &str, den: &str) -> f64 {
+        1000.0 * self.ratio(num, den)
+    }
+
+    /// Merges another registry into this one (counters add, summaries
+    /// concatenate).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, c) in &other.counters {
+            self.counters.entry_or_default(k).add(c.get());
+        }
+        for (k, s) in &other.summaries {
+            let dst = self
+                .summaries
+                .entry(k.clone())
+                .or_insert_with(Summary::new);
+            dst.count += s.count;
+            dst.sum += s.sum;
+            dst.min = dst.min.min(s.min);
+            dst.max = dst.max.max(s.max);
+        }
+    }
+
+    /// Iterates over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.summaries.clear();
+    }
+}
+
+/// Extension trait sugar for `BTreeMap<String, Counter>`.
+trait EntryOrDefault {
+    fn entry_or_default(&mut self, key: &str) -> &mut Counter;
+}
+
+impl EntryOrDefault for BTreeMap<String, Counter> {
+    fn entry_or_default(&mut self, key: &str) -> &mut Counter {
+        if !self.contains_key(key) {
+            self.insert(key.to_owned(), Counter::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, c) in &self.counters {
+            writeln!(f, "{k} = {}", c.get())?;
+        }
+        for (k, s) in &self.summaries {
+            writeln!(
+                f,
+                "{k} = mean {:.3} (n={}, min {:.3}, max {:.3})",
+                s.mean(),
+                s.count(),
+                s.min(),
+                s.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.bump("a");
+        s.bump_by("a", 4);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn summaries_track_extremes() {
+        let mut s = Stats::new();
+        s.record("lat", 4.0);
+        s.record("lat", 10.0);
+        let sum = s.summary("lat").unwrap();
+        assert_eq!(sum.count(), 2);
+        assert!((sum.mean() - 7.0).abs() < 1e-12);
+        assert!((sum.min() - 4.0).abs() < 1e-12);
+        assert!((sum.max() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let s = Stats::new();
+        assert_eq!(s.ratio("x", "y"), 0.0);
+    }
+
+    #[test]
+    fn per_kilo_matches_mpkl_definition() {
+        let mut s = Stats::new();
+        s.bump_by("llc.miss", 5);
+        s.bump_by("loads", 1000);
+        assert!((s.per_kilo("llc.miss", "loads") - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Stats::new();
+        a.bump_by("c", 2);
+        a.record("m", 1.0);
+        let mut b = Stats::new();
+        b.bump_by("c", 3);
+        b.record("m", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert!((a.summary("m").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = Stats::new();
+        s.bump("k");
+        assert!(s.to_string().contains("k = 1"));
+    }
+}

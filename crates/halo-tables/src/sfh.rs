@@ -1,0 +1,297 @@
+//! A single-function hash table (SFH): the baseline the paper compares
+//! against cuckoo hashing in §3.3.
+//!
+//! Each key maps to exactly one 8-entry bucket; a full bucket rejects
+//! further inserts. To install the same number of flows without
+//! rejections, an SFH table must be allocated far larger than a cuckoo
+//! table (the paper observes ~20% utilization), wasting cache space —
+//! which is precisely why its LLC miss rate explodes in Fig. 4.
+
+use crate::hash::{hash_key, signature, SEED_PRIMARY};
+use crate::key::FlowKey;
+use crate::layout::{allocate_table, TableMeta, ENTRIES_PER_BUCKET};
+use crate::trace::{LookupTrace, TraceStep};
+use halo_mem::{Addr, SimMemory};
+use std::fmt;
+
+/// Error: the single candidate bucket is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketFullError;
+
+impl fmt::Display for BucketFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "single-hash bucket full")
+    }
+}
+
+impl std::error::Error for BucketFullError {}
+
+/// A single-hash-function table handle.
+///
+/// # Examples
+///
+/// ```
+/// use halo_mem::SimMemory;
+/// use halo_tables::{FlowKey, SfhTable};
+///
+/// let mut mem = SimMemory::new();
+/// let mut t = SfhTable::create(&mut mem, 1024, 13);
+/// let k = FlowKey::synthetic(1, 13);
+/// t.insert(&mut mem, &k, 5).unwrap();
+/// assert_eq!(t.lookup(&mut mem, &k), Some(5));
+/// ```
+#[derive(Debug)]
+pub struct SfhTable {
+    meta_addr: Addr,
+    meta: TableMeta,
+    free: Vec<u32>,
+    len: usize,
+    rejected: u64,
+}
+
+impl SfhTable {
+    /// Creates a table with `buckets` buckets (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-power-of-two bucket count or oversized key length.
+    pub fn create(mem: &mut SimMemory, buckets: u64, key_len: usize) -> Self {
+        let (meta_addr, meta) = allocate_table(mem, buckets, key_len);
+        let slots = (buckets as usize) * ENTRIES_PER_BUCKET;
+        SfhTable {
+            meta_addr,
+            meta,
+            free: (0..slots as u32).rev().collect(),
+            len: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Sizes a table so `flows` uniformly hashed keys are very unlikely
+    /// to overflow any bucket (one bucket per expected flow — matching
+    /// the paper's observation that SFH wastes ~5x the space).
+    pub fn with_capacity_for(mem: &mut SimMemory, flows: usize, key_len: usize) -> Self {
+        let buckets = (flows as u64).max(1).next_power_of_two();
+        SfhTable::create(mem, buckets, key_len)
+    }
+
+    /// The metadata-line address.
+    #[must_use]
+    pub fn meta_addr(&self) -> Addr {
+        self.meta_addr
+    }
+
+    /// The table layout.
+    #[must_use]
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Installed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.meta.buckets as usize * ENTRIES_PER_BUCKET
+    }
+
+    /// Fraction of slots occupied.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Inserts rejected because their bucket was full.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Bytes occupied in simulated memory.
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.meta.footprint()
+    }
+
+    fn bucket_of(&self, key: &FlowKey) -> u64 {
+        hash_key(key, SEED_PRIMARY) & (self.meta.buckets - 1)
+    }
+
+    /// Inserts or updates `key -> value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BucketFullError`] if the key's bucket has no free entry.
+    pub fn insert(
+        &mut self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        value: u64,
+    ) -> Result<(), BucketFullError> {
+        assert_eq!(key.len(), self.meta.key_len as usize);
+        let b = self.bucket_of(key);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        let mut free_e = None;
+        for e in 0..ENTRIES_PER_BUCKET {
+            let (s, idx) = self.meta.read_entry(mem, b, e);
+            if s == sig && self.meta.read_kv_key(mem, idx) == *key {
+                self.meta.write_kv_value(mem, idx, value);
+                return Ok(());
+            }
+            if s == 0 && free_e.is_none() {
+                free_e = Some(e);
+            }
+        }
+        let Some(e) = free_e else {
+            self.rejected += 1;
+            return Err(BucketFullError);
+        };
+        let idx = self.free.pop().expect("slot count matches entry count");
+        self.meta.write_kv(mem, idx, key, value);
+        self.meta.write_entry(mem, b, e, sig, idx);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Functional lookup.
+    #[must_use]
+    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        self.lookup_traced(mem, key).result
+    }
+
+    /// Lookup with the recorded access trace.
+    #[must_use]
+    pub fn lookup_traced(&self, mem: &mut SimMemory, key: &FlowKey) -> LookupTrace {
+        assert_eq!(key.len(), self.meta.key_len as usize);
+        let mut steps = vec![TraceStep::LoadMeta(self.meta_addr), TraceStep::Hash];
+        let b = self.bucket_of(key);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        steps.push(TraceStep::LoadBucket(self.meta.bucket_addr(b)));
+        steps.push(TraceStep::CompareSigs);
+        let mut result = None;
+        for e in 0..ENTRIES_PER_BUCKET {
+            let (s, idx) = self.meta.read_entry(mem, b, e);
+            if s == sig {
+                let kv = self.meta.kv_addr(idx);
+                steps.push(TraceStep::LoadKv(kv));
+                if self.meta.kv_slot > 64 {
+                    steps.push(TraceStep::LoadKv(kv + 64));
+                }
+                steps.push(TraceStep::CompareKey);
+                if self.meta.read_kv_key(mem, idx) == *key {
+                    result = Some(self.meta.read_kv_value(mem, idx));
+                    break;
+                }
+            }
+        }
+        LookupTrace { result, steps }
+    }
+
+    /// All cache lines the table spans (for warm-up).
+    pub fn all_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        let meta = self.meta_addr;
+        let buckets = (0..self.meta.buckets).map(move |b| self.meta.bucket_addr(b));
+        let kv_lines = self.meta.buckets * ENTRIES_PER_BUCKET as u64 * u64::from(self.meta.kv_slot)
+            / halo_mem::CACHE_LINE;
+        let kv = (0..kv_lines).map(move |i| self.meta.kv_base + i * halo_mem::CACHE_LINE);
+        std::iter::once(meta).chain(buckets).chain(kv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup() {
+        let mut mem = SimMemory::new();
+        let mut t = SfhTable::create(&mut mem, 64, 13);
+        let k = FlowKey::synthetic(1, 13);
+        t.insert(&mut mem, &k, 10).unwrap();
+        assert_eq!(t.lookup(&mut mem, &k), Some(10));
+        assert_eq!(t.lookup(&mut mem, &FlowKey::synthetic(2, 13)), None);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut mem = SimMemory::new();
+        let mut t = SfhTable::create(&mut mem, 64, 13);
+        let k = FlowKey::synthetic(1, 13);
+        t.insert(&mut mem, &k, 10).unwrap();
+        t.insert(&mut mem, &k, 20).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&mut mem, &k), Some(20));
+    }
+
+    #[test]
+    fn rejects_when_bucket_full_and_utilization_is_low() {
+        let mut mem = SimMemory::new();
+        // Small table, many keys: some buckets overflow well before the
+        // table is full — the paper's low-utilization observation.
+        let mut t = SfhTable::create(&mut mem, 16, 13);
+        let mut rejected = 0;
+        for id in 0..128u64 {
+            if t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "expected overflow rejections");
+        assert_eq!(t.rejected(), rejected);
+        assert!(t.occupancy() < 1.0);
+    }
+
+    #[test]
+    fn sfh_needs_more_space_than_cuckoo_for_same_flows() {
+        let mut mem = SimMemory::new();
+        let flows = 10_000;
+        let sfh = SfhTable::with_capacity_for(&mut mem, flows, 13);
+        let cuckoo =
+            crate::CuckooTable::with_capacity_for(&mut mem, flows, 0.9, 13);
+        assert!(
+            sfh.footprint() > 3 * cuckoo.footprint(),
+            "sfh {} vs cuckoo {}",
+            sfh.footprint(),
+            cuckoo.footprint()
+        );
+    }
+
+    #[test]
+    fn trace_has_single_bucket_probe() {
+        let mut mem = SimMemory::new();
+        let mut t = SfhTable::create(&mut mem, 64, 13);
+        let k = FlowKey::synthetic(1, 13);
+        t.insert(&mut mem, &k, 10).unwrap();
+        let tr = t.lookup_traced(&mut mem, &k);
+        let buckets = tr
+            .steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::LoadBucket(_)))
+            .count();
+        assert_eq!(buckets, 1);
+        assert_eq!(tr.result, Some(10));
+    }
+
+    #[test]
+    fn capacity_sizing_admits_all_flows() {
+        let mut mem = SimMemory::new();
+        let mut t = SfhTable::with_capacity_for(&mut mem, 2000, 13);
+        let mut ok = 0;
+        for id in 0..2000u64 {
+            if t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok as f64 > 2000.0 * 0.99, "only {ok}/2000 admitted");
+        assert!(t.occupancy() < 0.25, "paper reports ~20% utilization");
+    }
+}

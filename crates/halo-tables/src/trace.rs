@@ -1,0 +1,111 @@
+//! Lookup traces: the shared vocabulary between table implementations
+//! and execution engines.
+//!
+//! A *trace* is the ordered list of memory touches and compute stages a
+//! lookup performs. The software core model (`halo-cpu`) prices a trace
+//! as x86 micro-ops; the HALO accelerator (`halo-accel`) prices the same
+//! trace as scoreboard operations against its local LLC slice. Using one
+//! vocabulary guarantees both engines see identical memory behaviour.
+
+use halo_mem::Addr;
+
+/// One step of a hash-table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Fetch the lookup key itself (packet header bytes).
+    LoadKey(Addr),
+    /// Fetch the table metadata line.
+    LoadMeta(Addr),
+    /// Run the hash unit / software hash chain over the key.
+    Hash,
+    /// Fetch one bucket line.
+    LoadBucket(Addr),
+    /// Compare the 8 signatures of a fetched bucket.
+    CompareSigs,
+    /// Fetch (part of) a key-value slot.
+    LoadKv(Addr),
+    /// Compare the full key bytes.
+    CompareKey,
+    /// Acquire/verify the optimistic software lock (version counter
+    /// read). Only emitted by the software path.
+    SoftLock(Addr),
+    /// Store of the lookup result to a destination address (non-blocking
+    /// accelerator mode).
+    StoreResult(Addr),
+}
+
+impl TraceStep {
+    /// The memory address this step touches, if it is a memory step.
+    #[must_use]
+    pub fn addr(&self) -> Option<Addr> {
+        match *self {
+            TraceStep::LoadKey(a)
+            | TraceStep::LoadMeta(a)
+            | TraceStep::LoadBucket(a)
+            | TraceStep::LoadKv(a)
+            | TraceStep::SoftLock(a)
+            | TraceStep::StoreResult(a) => Some(a),
+            TraceStep::Hash | TraceStep::CompareSigs | TraceStep::CompareKey => None,
+        }
+    }
+
+    /// Whether this is a pure compute step.
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        self.addr().is_none()
+    }
+}
+
+/// A completed lookup: its functional result plus the steps taken.
+#[derive(Debug, Clone)]
+pub struct LookupTrace {
+    /// The value found, if any.
+    pub result: Option<u64>,
+    /// Ordered steps (each step depends on the previous compute stage;
+    /// bucket loads for the two cuckoo buckets are independent of each
+    /// other once the hash is known).
+    pub steps: Vec<TraceStep>,
+}
+
+impl LookupTrace {
+    /// Number of memory-touching steps.
+    #[must_use]
+    pub fn memory_steps(&self) -> usize {
+        self.steps.iter().filter(|s| !s.is_compute()).count()
+    }
+
+    /// Addresses of all memory steps in order.
+    pub fn addresses(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.steps.iter().filter_map(TraceStep::addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_classification() {
+        assert!(TraceStep::Hash.is_compute());
+        assert!(TraceStep::CompareSigs.is_compute());
+        assert_eq!(TraceStep::LoadBucket(Addr(64)).addr(), Some(Addr(64)));
+        assert_eq!(TraceStep::Hash.addr(), None);
+    }
+
+    #[test]
+    fn trace_counts_memory_steps() {
+        let t = LookupTrace {
+            result: Some(1),
+            steps: vec![
+                TraceStep::LoadKey(Addr(64)),
+                TraceStep::Hash,
+                TraceStep::LoadBucket(Addr(128)),
+                TraceStep::CompareSigs,
+                TraceStep::LoadKv(Addr(256)),
+                TraceStep::CompareKey,
+            ],
+        };
+        assert_eq!(t.memory_steps(), 3);
+        assert_eq!(t.addresses().count(), 3);
+    }
+}

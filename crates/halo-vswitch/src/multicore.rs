@@ -1,0 +1,329 @@
+//! A multi-core datapath: several polling threads share one MegaFlow
+//! tuple space (the §3.4 setting — shared tables, core-to-core
+//! coherence traffic, software locking) while keeping per-core EMCs,
+//! exactly like OVS-DPDK PMD threads.
+//!
+//! Used by the scalability experiment: aggregate classification
+//! throughput as the datapath grows from 1 to 16 cores, software vs
+//! HALO lookups, with optional rule churn from a revalidator thread.
+
+use halo_accel::HaloEngine;
+use halo_classify::{distinct_masks, Emc, PacketHeader, SearchMode, TupleSpace};
+use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
+use halo_mem::{CoreId, MemorySystem};
+use halo_sim::{Cycle, Cycles, SplitMix64};
+use halo_tables::{hash_key, SEED_PRIMARY};
+
+use crate::pipeline::LookupBackend;
+
+/// One PMD (poll-mode-driver) thread's private state.
+#[derive(Debug)]
+struct PmdThread {
+    core: CoreId,
+    core_model: CoreModel,
+    scratch: Scratch,
+    emc: Emc,
+    clock: Cycle,
+    packets: u64,
+}
+
+/// A multi-core OVS-DPDK-style datapath over a shared MegaFlow layer.
+///
+/// # Examples
+///
+/// ```
+/// use halo_mem::{MachineConfig, MemorySystem};
+/// use halo_vswitch::{LookupBackend, MultiCoreDatapath};
+///
+/// let mut sys = MemorySystem::new(MachineConfig::default());
+/// let mut dp = MultiCoreDatapath::new(&mut sys, 4, 5, 2_000, LookupBackend::Software, 7);
+/// let report = dp.run(&mut sys, None, 400, 0);
+/// assert_eq!(report.packets, 400);
+/// assert!(report.throughput_per_kcy > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct MultiCoreDatapath {
+    pmds: Vec<PmdThread>,
+    megaflow: TupleSpace,
+    backend: LookupBackend,
+    flows: u64,
+    rng: SplitMix64,
+    nb_dest: halo_mem::Addr,
+}
+
+/// Aggregate result of a multi-core run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingReport {
+    /// Datapath threads used.
+    pub cores: usize,
+    /// Packets classified in total.
+    pub packets: u64,
+    /// Wall-clock cycles (max over core clocks).
+    pub cycles: u64,
+    /// Aggregate packets per kilocycle.
+    pub throughput_per_kcy: f64,
+    /// Remote-dirty cache-line transfers observed (coherence traffic).
+    pub dirty_transfers: u64,
+}
+
+impl MultiCoreDatapath {
+    /// Builds a datapath with `cores` PMD threads over `tuples` shared
+    /// MegaFlow tuples holding `flows` rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` exceeds the machine's core count.
+    pub fn new(
+        sys: &mut MemorySystem,
+        cores: usize,
+        tuples: usize,
+        flows: usize,
+        backend: LookupBackend,
+        seed: u64,
+    ) -> Self {
+        assert!(cores <= sys.config().cores, "not enough cores");
+        let mut megaflow = TupleSpace::new(
+            sys.data_mut(),
+            distinct_masks(tuples),
+            flows / tuples + 512,
+            SearchMode::FirstMatch,
+        );
+        for f in 0..flows as u64 {
+            let key = PacketHeader::synthetic(f).miniflow();
+            megaflow
+                .insert_rule(sys.data_mut(), (f % tuples as u64) as usize, &key, 0, f)
+                .expect("tuple sized for its share");
+        }
+        for t in megaflow.tuples() {
+            for a in t.table().all_lines().collect::<Vec<_>>() {
+                sys.warm_llc(a);
+            }
+        }
+        let pmds = (0..cores)
+            .map(|c| {
+                let core = CoreId(c);
+                let scratch = Scratch::new(sys);
+                scratch.warm(sys, core);
+                let emc = Emc::new(sys.data_mut(), 1024);
+                PmdThread {
+                    core,
+                    core_model: CoreModel::new(core, sys.config()),
+                    scratch,
+                    emc,
+                    clock: Cycle::ZERO,
+                    packets: 0,
+                }
+            })
+            .collect();
+        let nb_dest = sys.data_mut().alloc_lines(64 * cores as u64);
+        MultiCoreDatapath {
+            pmds,
+            megaflow,
+            backend,
+            flows: flows as u64,
+            rng: SplitMix64::new(seed),
+            nb_dest,
+        }
+    }
+
+    /// Number of PMD threads.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.pmds.len()
+    }
+
+    /// Classifies one packet on PMD `p` starting at its local clock.
+    fn classify_one(
+        &mut self,
+        sys: &mut MemorySystem,
+        engine: Option<&mut HaloEngine>,
+        p: usize,
+        flow: u64,
+    ) {
+        let key = PacketHeader::synthetic(flow).miniflow();
+        let pmd = &mut self.pmds[p];
+        let t0 = pmd.clock;
+        pmd.packets += 1;
+
+        // Per-core EMC probe (always software: it is tiny and private).
+        let emc_trace = pmd.emc.lookup_traced(sys.data_mut(), &key);
+        let prog = build_sw_lookup(&emc_trace, &mut pmd.scratch, None);
+        let mut t = pmd.core_model.run(&prog, sys, t0).finish;
+        if emc_trace.result.is_some() {
+            pmd.clock = t;
+            return;
+        }
+
+        // Shared MegaFlow search.
+        let (m, probes) =
+            self.megaflow
+                .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+        match self.backend {
+            LookupBackend::Software => {
+                for (_, tr) in &probes {
+                    let prog = build_sw_lookup(tr, &mut pmd.scratch, None);
+                    t = pmd.core_model.run(&prog, sys, t).finish;
+                }
+            }
+            LookupBackend::HaloBlocking | LookupBackend::HaloNonBlocking => {
+                let engine = engine.expect("HALO backend needs an engine");
+                let blocking = self.backend == LookupBackend::HaloBlocking;
+                let mut done = t;
+                for (slot, (i, tr)) in probes.iter().enumerate() {
+                    let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
+                    let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
+                    let dest = if blocking {
+                        None
+                    } else {
+                        Some(self.nb_dest + (p as u64) * 64 + (slot as u64 % 8) * 8)
+                    };
+                    let out = engine.dispatch(
+                        sys,
+                        pmd.core,
+                        table_addr,
+                        tr,
+                        h,
+                        None,
+                        dest,
+                        if blocking { done } else { t + Cycles(slot as u64) },
+                    );
+                    if blocking {
+                        done = out.complete + Cycles(4);
+                    } else {
+                        done = done.max(out.complete);
+                    }
+                }
+                if !blocking && !probes.is_empty() {
+                    let (_, snap) =
+                        engine.snapshot_read(sys, pmd.core, self.nb_dest + (p as u64) * 64, done);
+                    done = snap;
+                }
+                t = done;
+            }
+        }
+        if let Some(hit) = m {
+            pmd.emc.insert(sys.data_mut(), &key, hit.action);
+        }
+        pmd.clock = t;
+    }
+
+    /// Runs `packets` packets spread across the PMDs by flow hash (RSS),
+    /// with a revalidator relocating a rule every `churn_every` packets
+    /// (0 disables churn). Returns the aggregate report.
+    pub fn run(
+        &mut self,
+        sys: &mut MemorySystem,
+        mut engine: Option<&mut HaloEngine>,
+        packets: u64,
+        churn_every: u64,
+    ) -> ScalingReport {
+        let dirty_before = sys.stats().counter("llc.dirty_snoop");
+        for i in 0..packets {
+            let flow = self.rng.below(self.flows);
+            // RSS: flow hash picks the PMD, so one flow stays on one core.
+            let p = (hash_key(&PacketHeader::synthetic(flow).miniflow(), SEED_PRIMARY)
+                % self.pmds.len() as u64) as usize;
+            if churn_every > 0 && i % churn_every == 0 {
+                // The revalidator (a writer on another core) updates the
+                // shared tables: timed stores to every tuple's version
+                // line invalidate the readers' copies — the core-to-core
+                // coherence cost of §3.4.
+                let wcore = CoreId(sys.config().cores - 1);
+                for ti in 0..self.megaflow.tuples().len() {
+                    let va = self.megaflow.tuples()[ti].table().version_addr();
+                    let at = self.pmds[p].clock;
+                    sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                }
+            }
+            self.classify_one(sys, engine.as_deref_mut(), p, flow);
+        }
+        let cycles = self
+            .pmds
+            .iter()
+            .map(|p| p.clock.0)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        ScalingReport {
+            cores: self.pmds.len(),
+            packets,
+            cycles,
+            throughput_per_kcy: 1000.0 * packets as f64 / cycles as f64,
+            dirty_transfers: sys.stats().counter("llc.dirty_snoop") - dirty_before,
+        }
+    }
+
+    /// Per-PMD packet counts (for load-balance checks).
+    #[must_use]
+    pub fn per_core_packets(&self) -> Vec<u64> {
+        self.pmds.iter().map(|p| p.packets).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_accel::AcceleratorConfig;
+    use halo_mem::MachineConfig;
+
+    fn throughput(cores: usize, backend: LookupBackend, churn: u64) -> ScalingReport {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut dp = MultiCoreDatapath::new(&mut sys, cores, 5, 2_000, backend, 42);
+        let e = match backend {
+            LookupBackend::Software => None,
+            _ => Some(&mut engine),
+        };
+        dp.run(&mut sys, e, 600, churn)
+    }
+
+    #[test]
+    fn more_cores_more_throughput() {
+        let one = throughput(1, LookupBackend::Software, 0);
+        let four = throughput(4, LookupBackend::Software, 0);
+        assert!(
+            four.throughput_per_kcy > 2.0 * one.throughput_per_kcy,
+            "4 cores ({}) should roughly quadruple 1 core ({})",
+            four.throughput_per_kcy,
+            one.throughput_per_kcy
+        );
+    }
+
+    #[test]
+    fn halo_nb_scales_better_than_software() {
+        let sw = throughput(8, LookupBackend::Software, 0);
+        let nb = throughput(8, LookupBackend::HaloNonBlocking, 0);
+        assert!(
+            nb.throughput_per_kcy > sw.throughput_per_kcy,
+            "HALO-NB {} must beat software {} at 8 cores",
+            nb.throughput_per_kcy,
+            sw.throughput_per_kcy
+        );
+    }
+
+    #[test]
+    fn rss_spreads_flows_across_cores() {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut dp = MultiCoreDatapath::new(&mut sys, 8, 5, 2_000, LookupBackend::Software, 42);
+        dp.run(&mut sys, None, 800, 0);
+        let counts = dp.per_core_packets();
+        assert_eq!(counts.iter().sum::<u64>(), 800);
+        for &c in &counts {
+            assert!(c > 30, "imbalanced RSS: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn churn_generates_coherence_traffic() {
+        let calm = throughput(4, LookupBackend::Software, 0);
+        let churny = throughput(4, LookupBackend::Software, 10);
+        assert!(
+            churny.dirty_transfers + 20 > calm.dirty_transfers,
+            "churn should raise dirty transfers: {} vs {}",
+            churny.dirty_transfers,
+            calm.dirty_transfers
+        );
+        // Writers slow the datapath down (coherence + lock retries).
+        assert!(churny.throughput_per_kcy <= calm.throughput_per_kcy * 1.05);
+    }
+}

@@ -1,0 +1,540 @@
+//! The OVS-style software datapath: packet IO → pre-processing →
+//! EMC → MegaFlow → (OpenFlow), with per-phase cycle accounting.
+//!
+//! This is the workload of the paper's characterization (§3, Fig. 3) and
+//! the system HALO plugs into. Flow classification (EMC + MegaFlow) can
+//! run in three backends: software on the core, HALO blocking
+//! (`LOOKUP_B`) or HALO non-blocking (`LOOKUP_NB` + `SNAPSHOT_READ`).
+
+use halo_accel::HaloEngine;
+use halo_classify::{Emc, PacketHeader, RuleMatch, SearchMode, TupleSpace, WildcardMask};
+use halo_cpu::{build_sw_lookup, CoreModel, Program, Scratch};
+use halo_mem::{Addr, CoreId, MemorySystem, CACHE_LINE};
+use halo_sim::{Cycle, Cycles};
+use halo_tables::{hash_key, FlowKey, SEED_PRIMARY};
+
+/// How flow-classification lookups execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupBackend {
+    /// DPDK-style software lookups on the core (the baseline).
+    Software,
+    /// HALO `LOOKUP_B`: the core blocks per lookup.
+    HaloBlocking,
+    /// HALO `LOOKUP_NB`: all tuple lookups issued at once, results
+    /// polled with one `SNAPSHOT_READ`.
+    HaloNonBlocking,
+}
+
+/// Per-phase cycle totals (the Fig. 3 breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Breakdown {
+    /// Packet transmission / reception / queueing.
+    pub io: Cycles,
+    /// Header extraction (miniflow).
+    pub preproc: Cycles,
+    /// EMC lookup.
+    pub emc: Cycles,
+    /// MegaFlow tuple space search.
+    pub megaflow: Cycles,
+    /// OpenFlow slow-path search + MegaFlow rule installation (upcalls).
+    pub openflow: Cycles,
+    /// Everything else (action execution, bookkeeping).
+    pub other: Cycles,
+}
+
+impl Breakdown {
+    /// Sum of all phases.
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.io + self.preproc + self.emc + self.megaflow + self.openflow + self.other
+    }
+
+    /// Fraction of time spent in flow classification (EMC + MegaFlow).
+    #[must_use]
+    pub fn classification_fraction(&self) -> f64 {
+        let t = self.total().0;
+        if t == 0 {
+            0.0
+        } else {
+            (self.emc + self.megaflow + self.openflow).0 as f64 / t as f64
+        }
+    }
+
+    /// Accumulates another breakdown into this one (e.g. summing the
+    /// per-core datapath threads of a multi-core switch).
+    pub fn add(&mut self, other: &Breakdown) {
+        self.io += other.io;
+        self.preproc += other.preproc;
+        self.emc += other.emc;
+        self.megaflow += other.megaflow;
+        self.openflow += other.openflow;
+        self.other += other.other;
+    }
+}
+
+/// Configuration of the virtual switch instance.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// EMC slots (power of two); 0 disables the EMC layer.
+    pub emc_entries: usize,
+    /// Wildcard masks of the MegaFlow layer (one tuple each).
+    pub megaflow_masks: Vec<WildcardMask>,
+    /// Rule capacity per MegaFlow tuple.
+    pub megaflow_capacity: usize,
+    /// Which backend performs the lookups.
+    pub backend: LookupBackend,
+    /// Promote MegaFlow hits into the EMC (OVS behaviour).
+    pub emc_promotion: bool,
+    /// Enable the OpenFlow slow-path layer: MegaFlow misses fall
+    /// through to a priority search over the full rule set, and the
+    /// winning rule is installed back into the MegaFlow layer (the
+    /// upcall of Fig. 2a). Disabled by default: the paper notes the
+    /// OpenFlow layer is seldom accessed in practice (§3.1).
+    pub openflow: bool,
+    /// Rule capacity per OpenFlow tuple (when `openflow` is on).
+    pub openflow_capacity: usize,
+}
+
+impl SwitchConfig {
+    /// A typical OVS configuration with `masks` MegaFlow tuples.
+    #[must_use]
+    pub fn typical(masks: usize, backend: LookupBackend) -> Self {
+        SwitchConfig {
+            emc_entries: 8192,
+            megaflow_masks: halo_classify::distinct_masks(masks),
+            megaflow_capacity: 1024,
+            backend,
+            emc_promotion: true,
+            openflow: false,
+            openflow_capacity: 4096,
+        }
+    }
+}
+
+/// Counters of where packets were classified.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwitchCounters {
+    /// Packets processed.
+    pub packets: u64,
+    /// Hits in the EMC layer.
+    pub emc_hits: u64,
+    /// Hits in the MegaFlow layer.
+    pub megaflow_hits: u64,
+    /// Packets resolved by the OpenFlow slow path (upcalls).
+    pub openflow_hits: u64,
+    /// Packets matching no rule.
+    pub misses: u64,
+}
+
+/// Fixed cycle cost of installing an upcall-resolved rule into the
+/// MegaFlow layer (flow_add bookkeeping in the revalidator).
+const UPCALL_INSTALL_CYCLES: u64 = 600;
+
+/// Ring of packet-buffer lines (NIC RX descriptors, delivered by DDIO
+/// into the LLC).
+#[derive(Debug)]
+struct PacketRing {
+    base: Addr,
+    slots: u64,
+    next: u64,
+}
+
+impl PacketRing {
+    const SLOTS: u64 = 64;
+
+    fn new(sys: &mut MemorySystem) -> Self {
+        let base = sys.data_mut().alloc_lines(Self::SLOTS * CACHE_LINE);
+        PacketRing {
+            base,
+            slots: Self::SLOTS,
+            next: 0,
+        }
+    }
+
+    /// Returns the buffer for the next received packet, DDIO-delivering
+    /// it into the LLC.
+    fn receive(&mut self, sys: &mut MemorySystem, header: &PacketHeader) -> Addr {
+        let a = self.base + (self.next % self.slots) * CACHE_LINE;
+        self.next += 1;
+        sys.data_mut().write_bytes(a, header.miniflow().as_bytes());
+        sys.dma_write(a);
+        a
+    }
+}
+
+/// An OVS-like virtual switch bound to one core.
+///
+/// # Examples
+///
+/// ```
+/// use halo_vswitch::{LookupBackend, SwitchConfig, VirtualSwitch};
+/// use halo_classify::PacketHeader;
+/// use halo_mem::{CoreId, MachineConfig, MemorySystem};
+/// use halo_sim::Cycle;
+///
+/// let mut sys = MemorySystem::new(MachineConfig::small());
+/// let cfg = SwitchConfig::typical(5, LookupBackend::Software);
+/// let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+/// let pkt = PacketHeader::synthetic(1);
+/// vs.install_flow(&mut sys, &pkt.miniflow(), 2, 0, 99).unwrap();
+/// let (action, _done) = vs.process_packet(&mut sys, None, &pkt, Cycle(0));
+/// assert_eq!(action, Some(99));
+/// ```
+#[derive(Debug)]
+pub struct VirtualSwitch {
+    core: CoreId,
+    core_model: CoreModel,
+    scratch: Scratch,
+    emc: Option<Emc>,
+    megaflow: TupleSpace,
+    openflow: Option<TupleSpace>,
+    ring: PacketRing,
+    backend: LookupBackend,
+    emc_promotion: bool,
+    breakdown: Breakdown,
+    counters: SwitchCounters,
+    /// Destination lines for non-blocking lookups (one line, 8 results).
+    nb_dest: Addr,
+}
+
+impl VirtualSwitch {
+    /// Builds the switch and its tables in `sys`'s memory.
+    pub fn new(sys: &mut MemorySystem, core: CoreId, cfg: SwitchConfig) -> Self {
+        let scratch = Scratch::new(sys);
+        scratch.warm(sys, core);
+        let emc = if cfg.emc_entries > 0 {
+            Some(Emc::new(sys.data_mut(), cfg.emc_entries))
+        } else {
+            None
+        };
+        let masks_copy = cfg.megaflow_masks.clone();
+        let megaflow = TupleSpace::new(
+            sys.data_mut(),
+            cfg.megaflow_masks,
+            cfg.megaflow_capacity,
+            SearchMode::FirstMatch,
+        );
+        let openflow = if cfg.openflow {
+            Some(TupleSpace::new(
+                sys.data_mut(),
+                masks_copy,
+                cfg.openflow_capacity,
+                SearchMode::HighestPriority,
+            ))
+        } else {
+            None
+        };
+        let ring = PacketRing::new(sys);
+        let nb_dest = sys.data_mut().alloc_lines(CACHE_LINE);
+        VirtualSwitch {
+            core,
+            core_model: CoreModel::new(core, sys.config()),
+            scratch,
+            emc,
+            megaflow,
+            openflow,
+            ring,
+            backend: cfg.backend,
+            emc_promotion: cfg.emc_promotion,
+            breakdown: Breakdown::default(),
+            counters: SwitchCounters::default(),
+            nb_dest,
+        }
+    }
+
+    /// The MegaFlow tuple space (for inspection).
+    #[must_use]
+    pub fn megaflow(&self) -> &TupleSpace {
+        &self.megaflow
+    }
+
+    /// Accumulated per-phase cycles.
+    #[must_use]
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+
+    /// Classification counters.
+    #[must_use]
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.counters
+    }
+
+    /// Average cycles per packet so far.
+    #[must_use]
+    pub fn cycles_per_packet(&self) -> f64 {
+        if self.counters.packets == 0 {
+            0.0
+        } else {
+            self.breakdown.total().0 as f64 / self.counters.packets as f64
+        }
+    }
+
+    /// Installs a flow rule into MegaFlow tuple `tuple_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`halo_tables::TableFullError`] from the tuple table.
+    pub fn install_flow(
+        &mut self,
+        sys: &mut MemorySystem,
+        key: &FlowKey,
+        tuple_idx: usize,
+        priority: u16,
+        action: u64,
+    ) -> Result<(), halo_tables::TableFullError> {
+        self.megaflow
+            .insert_rule(sys.data_mut(), tuple_idx, key, priority, action)
+    }
+
+    /// Installs a rule into the OpenFlow slow-path layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`halo_tables::TableFullError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch was built without the OpenFlow layer.
+    pub fn install_openflow_rule(
+        &mut self,
+        sys: &mut MemorySystem,
+        key: &FlowKey,
+        tuple_idx: usize,
+        priority: u16,
+        action: u64,
+    ) -> Result<(), halo_tables::TableFullError> {
+        self.openflow
+            .as_mut()
+            .expect("switch built without the OpenFlow layer")
+            .insert_rule(sys.data_mut(), tuple_idx, key, priority, action)
+    }
+
+    /// Pre-installs `key -> action` into the EMC (steady-state warm
+    /// start: in a long-running switch the EMC already holds the
+    /// hottest flows; without this, short measurement windows see only
+    /// cold-start misses).
+    pub fn prime_emc(&mut self, sys: &mut MemorySystem, key: &FlowKey, action: u64) {
+        if let Some(emc) = &mut self.emc {
+            emc.insert(sys.data_mut(), key, action);
+        }
+    }
+
+    /// Pre-loads all switch tables into the LLC (warm start, as after
+    /// the 10 K warm-up lookups of §5.2).
+    pub fn warm_tables(&self, sys: &mut MemorySystem) {
+        if let Some(emc) = &self.emc {
+            for a in emc.all_lines().collect::<Vec<_>>() {
+                sys.warm_llc(a);
+            }
+        }
+        for t in self.megaflow.tuples() {
+            for a in t.table().all_lines().collect::<Vec<_>>() {
+                sys.warm_llc(a);
+            }
+        }
+        if let Some(of) = &self.openflow {
+            for t in of.tuples() {
+                for a in t.table().all_lines().collect::<Vec<_>>() {
+                    sys.warm_llc(a);
+                }
+            }
+        }
+    }
+
+    /// Filler program for the fixed pipeline phases: `uops` micro-ops
+    /// with a sprinkling of buffer loads.
+    fn phase_program(&mut self, loads: &[Addr], uops: usize) -> Program {
+        let mut p = Program::new();
+        for &a in loads {
+            p.load(a, &[]);
+        }
+        let n_loads = (uops / 5).saturating_sub(loads.len());
+        for _ in 0..n_loads {
+            p.load(self.scratch.next(), &[]);
+        }
+        for _ in 0..(uops - uops / 5 - loads.len().min(uops)) {
+            p.compute(1, &[]);
+        }
+        p
+    }
+
+    /// Processes one packet. `engine` must be provided for the HALO
+    /// backends. Returns the matched action (if any) and the completion
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a HALO backend is configured but `engine` is `None`.
+    pub fn process_packet(
+        &mut self,
+        sys: &mut MemorySystem,
+        mut engine: Option<&mut HaloEngine>,
+        header: &PacketHeader,
+        at: Cycle,
+    ) -> (Option<u64>, Cycle) {
+        self.counters.packets += 1;
+        let key = header.miniflow();
+
+        // --- Packet IO (RX + queueing): DDIO delivery + driver work. ---
+        let buf = self.ring.receive(sys, header);
+        let io_prog = self.phase_program(&[buf], 440);
+        let r = self.core_model.run(&io_prog, sys, at);
+        let mut t = r.finish;
+        self.breakdown.io += r.duration();
+
+        // --- Pre-processing: miniflow extraction over the header. ------
+        let pre_prog = self.phase_program(&[buf], 170);
+        let r = self.core_model.run(&pre_prog, sys, t);
+        t = r.finish;
+        self.breakdown.preproc += r.duration();
+
+        // --- EMC. -------------------------------------------------------
+        let mut action: Option<u64> = None;
+        if let Some(emc) = &self.emc {
+            let trace = emc.lookup_traced(sys.data_mut(), &key);
+            let (res, done) = match self.backend {
+                LookupBackend::Software => {
+                    let prog = build_sw_lookup(&trace, &mut self.scratch, Some(buf));
+                    let r = self.core_model.run(&prog, sys, t);
+                    (trace.result, r.finish)
+                }
+                LookupBackend::HaloBlocking | LookupBackend::HaloNonBlocking => {
+                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
+                    let h = hash_key(&key, SEED_PRIMARY);
+                    let out =
+                        engine.dispatch(sys, self.core, emc.base_addr(), &trace, h, None, None, t);
+                    (out.result, out.complete + Cycles(4))
+                }
+            };
+            self.breakdown.emc += done - t;
+            t = done;
+            if let Some(v) = res {
+                self.counters.emc_hits += 1;
+                action = Some(v);
+            }
+        }
+
+        // --- MegaFlow tuple space search. --------------------------------
+        if action.is_none() {
+            let (m, probes) = self
+                .megaflow
+                .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+            let done = match self.backend {
+                LookupBackend::Software => {
+                    let mut tt = t;
+                    for (_, tr) in &probes {
+                        let prog = build_sw_lookup(tr, &mut self.scratch, None);
+                        let r = self.core_model.run(&prog, sys, tt);
+                        tt = r.finish;
+                    }
+                    tt
+                }
+                LookupBackend::HaloBlocking => {
+                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
+                    let mut tt = t;
+                    for (i, tr) in &probes {
+                        let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
+                        let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
+                        let out = engine.dispatch(sys, self.core, table_addr, tr, h, None, None, tt);
+                        tt = out.complete + Cycles(4);
+                    }
+                    tt
+                }
+                LookupBackend::HaloNonBlocking => {
+                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
+                    // Issue every probed tuple at once; results land in
+                    // distinct words of one destination line.
+                    let mut finish = t;
+                    for (slot, (i, tr)) in probes.iter().enumerate() {
+                        let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
+                        let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
+                        let dest = self.nb_dest + (slot as u64 % 8) * 8;
+                        let out = engine.dispatch(
+                            sys,
+                            self.core,
+                            table_addr,
+                            tr,
+                            h,
+                            None,
+                            Some(dest),
+                            t + Cycles(slot as u64), // issue one per cycle
+                        );
+                        finish = finish.max(out.complete);
+                    }
+                    // One SNAPSHOT_READ to collect the cache line.
+                    let (_, snap_done) = engine.snapshot_read(sys, self.core, self.nb_dest, finish);
+                    snap_done
+                }
+            };
+            self.breakdown.megaflow += done - t;
+            t = done;
+            if let Some(hit) = m {
+                self.counters.megaflow_hits += 1;
+                action = Some(hit.action);
+                if self.emc_promotion {
+                    if let Some(emc) = &mut self.emc {
+                        emc.insert(sys.data_mut(), &key, hit.action);
+                    }
+                }
+            } else if self.openflow.is_some() {
+                // --- OpenFlow slow path (upcall): a priority search over
+                // every tuple, then install the winning rule into the
+                // MegaFlow layer so later packets of the flow stay fast.
+                let (of_match, of_probes) = self
+                    .openflow
+                    .as_ref()
+                    .expect("checked above")
+                    .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+                let mut tt = t;
+                // The slow path always runs in software (OVS upcalls are
+                // handler-thread work), plus a fixed rule-install cost.
+                for (_, tr) in &of_probes {
+                    let prog = build_sw_lookup(tr, &mut self.scratch, None);
+                    let r = self.core_model.run(&prog, sys, tt);
+                    tt = r.finish;
+                }
+                if let Some(hit) = of_match {
+                    self.counters.openflow_hits += 1;
+                    action = Some(hit.action);
+                    // Install the resolved flow into MegaFlow (the
+                    // revalidator's handiwork), modeled as a fixed
+                    // upcall/installation overhead.
+                    let _ = self
+                        .megaflow
+                        .insert_rule(sys.data_mut(), hit.tuple, &key, 0, hit.action);
+                    tt += Cycles(UPCALL_INSTALL_CYCLES);
+                    if self.emc_promotion {
+                        if let Some(emc) = &mut self.emc {
+                            emc.insert(sys.data_mut(), &key, hit.action);
+                        }
+                    }
+                } else {
+                    self.counters.misses += 1;
+                }
+                self.breakdown.openflow += tt - t;
+                t = tt;
+            } else {
+                self.counters.misses += 1;
+            }
+        }
+
+        // --- Action execution + bookkeeping. ------------------------------
+        let other_prog = self.phase_program(&[], 140);
+        let r = self.core_model.run(&other_prog, sys, t);
+        self.breakdown.other += r.duration();
+        t = r.finish;
+
+        (action, t)
+    }
+
+    /// Classifies without timing (functional check / oracle).
+    #[must_use]
+    pub fn classify_functional(
+        &self,
+        sys: &mut MemorySystem,
+        header: &PacketHeader,
+    ) -> Option<RuleMatch> {
+        self.megaflow.classify(sys.data_mut(), &header.miniflow())
+    }
+}

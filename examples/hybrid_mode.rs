@@ -1,0 +1,87 @@
+//! The hybrid computation mechanism (§4.6): the linear-counting flow
+//! register watches the active flow count and switches between the
+//! software path (tiny working sets that live in L1) and the HALO
+//! accelerators (everything else).
+//!
+//! Run with `cargo run --example hybrid_mode`.
+
+use halo_nfv::accel::{
+    AcceleratorConfig, FlowRegister, HaloEngine, HybridClassifier, HybridConfig, Mode,
+};
+use halo_nfv::mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nfv::sim::{Cycle, SplitMix64};
+use halo_nfv::tables::{CuckooTable, FlowKey};
+
+fn main() {
+    // --- The flow register on its own (Fig. 8b). -----------------------
+    println!("=== linear-counting flow register ===");
+    let mut rng = SplitMix64::new(1);
+    for flows in [8u64, 16, 32, 64, 128] {
+        let mut reg = FlowRegister::new(32);
+        let hashes: Vec<u64> = (0..flows).map(|_| rng.next_u64()).collect();
+        for _ in 0..5 {
+            for &h in &hashes {
+                reg.observe(h);
+            }
+        }
+        println!(
+            "{:>4} true flows -> estimate {:>6.1} ({} of 32 bits set)",
+            flows,
+            reg.estimate(),
+            32 - reg.unset()
+        );
+    }
+
+    // --- The hybrid classifier in action. -------------------------------
+    println!("\n=== hybrid classifier: traffic burst ===");
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let mut table = CuckooTable::with_capacity_for(sys.data_mut(), 4096, 0.8, 13);
+    for id in 0..4096u64 {
+        table
+            .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
+            .unwrap();
+    }
+    for a in table.all_lines().collect::<Vec<_>>() {
+        sys.warm_llc(a);
+    }
+
+    let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
+    println!("initial mode: {:?}", hybrid.mode());
+
+    let mut t = Cycle(0);
+    let mut rng = SplitMix64::new(2);
+    // Phase 1: a handful of hot flows — software territory.
+    for _ in 0..600 {
+        let key = FlowKey::synthetic(rng.below(8), 13);
+        let (v, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t);
+        assert!(v.is_some());
+        t = done;
+    }
+    println!("after 600 lookups over 8 flows:   mode {:?}", hybrid.mode());
+
+    // Phase 2: traffic fans out to thousands of flows — HALO territory.
+    for _ in 0..600 {
+        let key = FlowKey::synthetic(rng.below(4096), 13);
+        let (v, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t);
+        assert!(v.is_some());
+        t = done;
+    }
+    println!("after 600 lookups over 4K flows:  mode {:?}", hybrid.mode());
+
+    // Phase 3: back to a few flows — the controller returns to software.
+    for _ in 0..600 {
+        let key = FlowKey::synthetic(rng.below(8), 13);
+        let (v, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t);
+        assert!(v.is_some());
+        t = done;
+    }
+    println!("after 600 more over 8 flows:      mode {:?}", hybrid.mode());
+
+    let (sw, hw) = hybrid.split();
+    println!(
+        "\nlookup split: {sw} software / {hw} HALO, {} mode switches",
+        hybrid.switches()
+    );
+    assert_eq!(hybrid.mode(), Mode::Software, "should end in software mode");
+}

@@ -1,0 +1,56 @@
+//! HALO's general applicability (§6.5): accelerating hash-table-based
+//! network functions — NAT, prads, and an IP packet filter — and the
+//! co-location interference study of §6.3.
+//!
+//! Run with `cargo run --example nf_acceleration`.
+
+use halo_nfv::accel::{AcceleratorConfig, HaloEngine};
+use halo_nfv::mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nfv::nf::{
+    colocation_experiment, ComputeNfKind, HashNf, HashNfKind, SwitchImpl,
+};
+
+fn main() {
+    // --- Fig. 13: hash-table NF speedups. ------------------------------
+    println!("=== hash-table NF acceleration (Fig. 13) ===");
+    for kind in HashNfKind::all() {
+        let entries = kind.table3_sizes()[1]; // the middle Table 3 config
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut nf = HashNf::new(&mut sys, CoreId(0), kind, entries, 11);
+        nf.warm(&mut sys);
+        let sw = nf.run_software(&mut sys, 200);
+
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut nf = HashNf::new(&mut sys, CoreId(0), kind, entries, 11);
+        nf.warm(&mut sys);
+        let hw = nf.run_halo(&mut sys, &mut engine, 200);
+
+        println!(
+            "{:<13} ({} entries): software {:>6.0} cy/pkt, HALO {:>6.0} cy/pkt -> {:.2}x",
+            kind.name(),
+            entries,
+            sw.cycles_per_packet,
+            hw.cycles_per_packet,
+            sw.cycles_per_packet / hw.cycles_per_packet
+        );
+    }
+
+    // --- Fig. 12: co-location interference. ----------------------------
+    println!("\n=== co-located NF interference (Fig. 12) ===");
+    for nf in ComputeNfKind::all() {
+        for imp in [SwitchImpl::Software, SwitchImpl::Halo] {
+            let r = colocation_experiment(nf, 10_000, imp, 120, 3);
+            println!(
+                "{:<6} + {:<8} switch: throughput drop {:>5.1}%, L1D miss +{:.1}pp",
+                nf.name(),
+                match imp {
+                    SwitchImpl::Software => "software",
+                    SwitchImpl::Halo => "HALO",
+                },
+                100.0 * r.throughput_drop(),
+                100.0 * r.l1_miss_increase()
+            );
+        }
+    }
+}

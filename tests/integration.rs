@@ -1,0 +1,246 @@
+//! Cross-crate integration tests: exercise the whole stack (tables over
+//! simulated memory, core model, accelerators, classification layers,
+//! virtual switch, NFs) together.
+
+use halo_nfv::accel::{AcceleratorConfig, HaloEngine, HybridClassifier, HybridConfig};
+use halo_nfv::classify::{distinct_masks, PacketHeader, SearchMode, TupleSpace};
+use halo_nfv::cpu::{build_sw_lookup, CoreModel, Scratch};
+use halo_nfv::mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nfv::nf::{HashNf, HashNfKind, Scenario, TrafficGen};
+use halo_nfv::sim::{Cycle, SplitMix64};
+use halo_nfv::tables::{CuckooTable, FlowKey};
+use halo_nfv::vswitch::{LookupBackend, SwitchConfig, VirtualSwitch};
+
+/// Software and HALO paths must return identical lookup results over a
+/// large randomized workload, while both report sane timing.
+#[test]
+fn software_and_halo_agree_functionally() {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut table = CuckooTable::with_capacity_for(sys.data_mut(), 5_000, 0.85, 13);
+    let mut rng = SplitMix64::new(0xA11CE);
+    let mut installed = Vec::new();
+    for id in 0..5_000u64 {
+        let key = FlowKey::synthetic(id, 13);
+        table.insert(sys.data_mut(), &key, id * 3).unwrap();
+        installed.push(key);
+    }
+    for a in table.all_lines().collect::<Vec<_>>() {
+        sys.warm_llc(a);
+    }
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let mut scratch = Scratch::new(&mut sys);
+    scratch.warm(&mut sys, CoreId(0));
+    let mut core = CoreModel::new(CoreId(1), sys.config());
+
+    let mut t = Cycle(0);
+    for i in 0..500 {
+        // Mix hits and misses.
+        let key = if i % 3 == 0 {
+            FlowKey::synthetic(1_000_000 + i, 13)
+        } else {
+            installed[rng.below(installed.len() as u64) as usize]
+        };
+        let sw_trace = table.lookup_traced(sys.data_mut(), &key, true);
+        let prog = build_sw_lookup(&sw_trace, &mut scratch, None);
+        let sw_report = core.run(&prog, &mut sys, t);
+
+        let (hw_result, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t);
+        assert_eq!(sw_trace.result, hw_result, "divergence at iteration {i}");
+        assert!(done > t);
+        t = sw_report.finish.max(done);
+    }
+}
+
+/// The vswitch forwards traffic correctly across all three backends and
+/// the HALO backends spend fewer cycles classifying.
+#[test]
+fn vswitch_backends_agree_and_halo_is_faster() {
+    let scenario = Scenario::ManyFlows {
+        flows: 3_000,
+        rules: 5,
+    };
+    let mut totals = Vec::new();
+    for backend in [
+        LookupBackend::Software,
+        LookupBackend::HaloBlocking,
+        LookupBackend::HaloNonBlocking,
+    ] {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut cfg = SwitchConfig::typical(5, backend);
+        cfg.megaflow_capacity = 1024;
+        let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+        let gen = TrafficGen::new(scenario, 5);
+        for (id, pkt) in gen.all_flows().enumerate() {
+            vs.install_flow(&mut sys, &pkt.miniflow(), id % 5, 0, id as u64)
+                .unwrap();
+        }
+        vs.warm_tables(&mut sys);
+        let mut gen = TrafficGen::new(scenario, 77);
+        let mut t = Cycle(0);
+        for _ in 0..300 {
+            let pkt = gen.next_packet();
+            let expect = vs.classify_functional(&mut sys, &pkt).map(|m| m.action);
+            let e = match backend {
+                LookupBackend::Software => None,
+                _ => Some(&mut engine),
+            };
+            let (action, done) = vs.process_packet(&mut sys, e, &pkt, t);
+            // The EMC may answer before MegaFlow; either way the action
+            // must match the rule table's functional answer.
+            assert_eq!(action, expect, "backend {backend:?}");
+            t = done;
+        }
+        assert_eq!(vs.counters().misses, 0);
+        totals.push((backend, vs.cycles_per_packet()));
+    }
+    let sw = totals[0].1;
+    let nb = totals[2].1;
+    assert!(
+        nb < sw,
+        "HALO-NB ({nb:.0} cy/pkt) must beat software ({sw:.0} cy/pkt)"
+    );
+}
+
+/// The hybrid classifier must never return a wrong value regardless of
+/// the mode it is in, across a traffic pattern that forces switches.
+#[test]
+fn hybrid_mode_switches_preserve_correctness() {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let mut table = CuckooTable::with_capacity_for(sys.data_mut(), 2_048, 0.8, 13);
+    for id in 0..2_048u64 {
+        table
+            .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id + 7)
+            .unwrap();
+    }
+    for a in table.all_lines().collect::<Vec<_>>() {
+        sys.warm_llc(a);
+    }
+    let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
+    let mut rng = SplitMix64::new(3);
+    let mut t = Cycle(0);
+    for phase in 0..4 {
+        let universe = if phase % 2 == 0 { 6 } else { 2_048 };
+        for _ in 0..400 {
+            let id = rng.below(universe);
+            let (v, done) =
+                hybrid.lookup(&mut sys, &mut engine, &table, &FlowKey::synthetic(id, 13), t);
+            assert_eq!(v, Some(id + 7));
+            t = done;
+        }
+    }
+    assert!(hybrid.switches() >= 2, "traffic phases should force switches");
+}
+
+/// Tuple-space search agrees with the linear-scan oracle when driven
+/// through the vswitch's rule tables, end to end.
+#[test]
+fn tss_classification_matches_linear_oracle() {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut tss = TupleSpace::new(
+        sys.data_mut(),
+        distinct_masks(12),
+        512,
+        SearchMode::HighestPriority,
+    );
+    let mut rng = SplitMix64::new(8);
+    for i in 0..600u64 {
+        let pkt = PacketHeader::synthetic(rng.below(10_000));
+        let tuple = (rng.below(12)) as usize;
+        let prio = (rng.below(16)) as u16;
+        let _ = tss.insert_rule(sys.data_mut(), tuple, &pkt.miniflow(), prio, i);
+    }
+    for id in 0..2_000u64 {
+        let key = PacketHeader::synthetic(id).miniflow();
+        assert_eq!(
+            tss.classify(sys.data_mut(), &key),
+            tss.classify_linear(sys.data_mut(), &key),
+            "divergence for flow {id}"
+        );
+    }
+}
+
+/// Concurrent updates (cuckoo moves) must never make lookups fail —
+/// with HALO's hardware locking the reader sees a consistent table.
+#[test]
+fn lookups_survive_concurrent_cuckoo_moves() {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut table = CuckooTable::with_capacity_for(sys.data_mut(), 2_000, 0.7, 13);
+    for id in 0..2_000u64 {
+        table
+            .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
+            .unwrap();
+    }
+    for a in table.all_lines().collect::<Vec<_>>() {
+        sys.warm_llc(a);
+    }
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let mut rng = SplitMix64::new(13);
+    let mut t = Cycle(0);
+    for i in 0..600u64 {
+        if i % 5 == 0 {
+            let victim = FlowKey::synthetic(rng.below(2_000), 13);
+            table.cuckoo_move(sys.data_mut(), &victim);
+        }
+        let id = rng.below(2_000);
+        let (v, done) = engine.lookup_b(
+            &mut sys,
+            CoreId((i % 4) as usize),
+            &table,
+            &FlowKey::synthetic(id, 13),
+            None,
+            t,
+        );
+        assert_eq!(v, Some(id), "lost key {id} after moves");
+        t = done;
+    }
+}
+
+/// A hash-table NF keeps its functional behaviour whichever engine runs
+/// its lookups, and its HALO runs are faster at every Table 3 size.
+#[test]
+fn hash_nfs_speed_up_without_breaking() {
+    for kind in [HashNfKind::Nat, HashNfKind::PacketFilter] {
+        let entries = kind.table3_sizes()[0];
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut nf = HashNf::new(&mut sys, CoreId(0), kind, entries, 99);
+        nf.warm(&mut sys);
+        let sw = nf.run_software(&mut sys, 64);
+
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut nf = HashNf::new(&mut sys, CoreId(0), kind, entries, 99);
+        nf.warm(&mut sys);
+        let hw = nf.run_halo(&mut sys, &mut engine, 64);
+
+        assert!(hw.cycles_per_packet < sw.cycles_per_packet, "{:?}", kind);
+    }
+}
+
+/// Determinism: the same seed produces bit-identical experiment results.
+#[test]
+fn experiments_are_deterministic() {
+    let run_once = || {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), 1_000, 0.8, 13);
+        for id in 0..1_000u64 {
+            table
+                .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
+                .unwrap();
+        }
+        for a in table.all_lines().collect::<Vec<_>>() {
+            sys.warm_llc(a);
+        }
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut rng = SplitMix64::new(2024);
+        let mut t = Cycle(0);
+        for _ in 0..200 {
+            let key = FlowKey::synthetic(rng.below(1_000), 13);
+            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t);
+            t = done;
+        }
+        t
+    };
+    assert_eq!(run_once(), run_once());
+}
