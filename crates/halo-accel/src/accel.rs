@@ -299,8 +299,10 @@ mod tests {
     #[test]
     fn scoreboard_limits_inflight() {
         let (mut sys, table) = setup();
-        let mut cfg = AcceleratorConfig::default();
-        cfg.scoreboard_depth = 2;
+        let cfg = AcceleratorConfig {
+            scoreboard_depth: 2,
+            ..AcceleratorConfig::default()
+        };
         let mut acc = HaloAccelerator::new(SliceId(0), cfg);
         // Fire 10 queries at the same instant.
         for id in 0..10u64 {
@@ -339,8 +341,10 @@ mod tests {
     #[test]
     fn locking_disabled_skips_lock_bits() {
         let (mut sys, table) = setup();
-        let mut cfg = AcceleratorConfig::default();
-        cfg.hardware_locking = false;
+        let cfg = AcceleratorConfig {
+            hardware_locking: false,
+            ..AcceleratorConfig::default()
+        };
         let mut acc = HaloAccelerator::new(SliceId(0), cfg);
         let key = FlowKey::synthetic(7, 13);
         let tr = table.lookup_traced(sys.data_mut(), &key, false);

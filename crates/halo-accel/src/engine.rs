@@ -166,6 +166,7 @@ impl HaloEngine {
 
     /// Dispatches a prepared trace to the chosen accelerator; shared by
     /// the two lookup instructions and the tuple-space-search drivers.
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction operand list
     pub fn dispatch(
         &mut self,
         sys: &mut MemorySystem,
@@ -201,7 +202,8 @@ impl HaloEngine {
         // pays a fixed issue/serialization cost before the query enters
         // the ring, and a writeback/wakeup cost when the result returns.
         let issued = at + ISSUE_OVERHEAD;
-        let out = self.dispatch_for_slice(sys, core, slice, &trace, key_hash, key_addr, None, issued);
+        let out =
+            self.dispatch_for_slice(sys, core, slice, &trace, key_hash, key_addr, None, issued);
         // Result rides the ring back to the core.
         let back = self.dispatch_wire(sys, core, slice);
         (out.result, out.complete + back + RETURN_OVERHEAD)
@@ -211,6 +213,7 @@ impl HaloEngine {
     /// (store-like semantics); the accelerator writes the result into
     /// `dest` when done (`value + 1`, or [`NB_MISS`] on miss; `0` while
     /// pending).
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction operand list
     pub fn lookup_nb(
         &mut self,
         sys: &mut MemorySystem,
@@ -241,6 +244,7 @@ impl HaloEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the instruction operand list
     fn dispatch_for_slice(
         &mut self,
         sys: &mut MemorySystem,
@@ -460,8 +464,14 @@ mod tests {
         let (_, plain_done) =
             engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, Cycle(10_000));
         let plain = plain_done - Cycle(10_000);
-        let (v, fetch_done) =
-            engine.lookup_b(&mut sys, CoreId(0), &table, &key, Some(key_addr), Cycle(20_000));
+        let (v, fetch_done) = engine.lookup_b(
+            &mut sys,
+            CoreId(0),
+            &table,
+            &key,
+            Some(key_addr),
+            Cycle(20_000),
+        );
         let with_fetch = fetch_done - Cycle(20_000);
         assert_eq!(v, Some(50));
         assert!(

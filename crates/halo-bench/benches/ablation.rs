@@ -1,22 +1,10 @@
-//! Criterion benches over the ablation studies (DESIGN.md §6).
+//! Wall-clock benches over the ablation studies (DESIGN.md §6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use halo_bench::experiments::ablation;
+use halo_bench::microbench::bench;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    g.bench_function("metadata_cache", |b| {
-        b.iter(|| std::hint::black_box(ablation::metadata_cache()))
-    });
-    g.bench_function("scoreboard_depth", |b| {
-        b.iter(|| std::hint::black_box(ablation::scoreboard_depth()))
-    });
-    g.bench_function("dispatch_policy", |b| {
-        b.iter(|| std::hint::black_box(ablation::dispatch_policy()))
-    });
-    g.finish();
+fn main() {
+    bench("ablation/metadata_cache", ablation::metadata_cache);
+    bench("ablation/scoreboard_depth", ablation::scoreboard_depth);
+    bench("ablation/dispatch_policy", ablation::dispatch_policy);
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

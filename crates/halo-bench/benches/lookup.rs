@@ -1,38 +1,19 @@
-//! Criterion benches over the single-table lookup approaches (Fig. 9's
+//! Wall-clock benches over the single-table lookup approaches (Fig. 9's
 //! machinery). Wall time here is simulation cost; the simulated-cycle
 //! results are produced by the `figures` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use halo_bench::experiments::harness::{Approach, SingleTableWorkload};
+use halo_bench::microbench::bench;
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_table_lookup");
-    g.sample_size(10);
+fn main() {
     for approach in Approach::all() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(approach.name()),
-            &approach,
-            |b, &a| {
-                b.iter(|| {
-                    let mut w = SingleTableWorkload::new(1 << 12, 0.5, 7);
-                    std::hint::black_box(w.throughput(a, 50))
-                });
-            },
-        );
+        bench(&format!("single_table_lookup/{}", approach.name()), || {
+            let mut w = SingleTableWorkload::new(1 << 12, 0.5, 7);
+            w.throughput(approach, 50)
+        });
     }
-    g.finish();
-}
 
-fn bench_extensions(c: &mut Criterion) {
     use halo_bench::experiments::extensions;
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.bench_function("kv_gets", |b| b.iter(|| std::hint::black_box(extensions::kv_gets())));
-    g.bench_function("tree_lookup", |b| {
-        b.iter(|| std::hint::black_box(extensions::tree_lookup()))
-    });
-    g.finish();
+    bench("extensions/kv_gets", extensions::kv_gets);
+    bench("extensions/tree_lookup", extensions::tree_lookup);
 }
-
-criterion_group!(benches, bench_lookup, bench_extensions);
-criterion_main!(benches);

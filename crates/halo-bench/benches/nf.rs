@@ -1,39 +1,25 @@
-//! Criterion benches over the network-function workloads (Fig. 12/13
+//! Wall-clock benches over the network-function workloads (Fig. 12/13
 //! machinery).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use halo_accel::{AcceleratorConfig, HaloEngine};
+use halo_bench::microbench::bench;
 use halo_mem::{CoreId, MachineConfig, MemorySystem};
 use halo_nf::{HashNf, HashNfKind};
 
-fn bench_nf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash_nf");
-    g.sample_size(10);
+fn main() {
     for kind in HashNfKind::all() {
-        g.bench_with_input(
-            BenchmarkId::new("software", kind.name()),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    let mut sys = MemorySystem::new(MachineConfig::default());
-                    let mut nf = HashNf::new(&mut sys, CoreId(0), k, 1_000, 1);
-                    nf.warm(&mut sys);
-                    std::hint::black_box(nf.run_software(&mut sys, 30))
-                });
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("halo", kind.name()), &kind, |b, &k| {
-            b.iter(|| {
-                let mut sys = MemorySystem::new(MachineConfig::default());
-                let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-                let mut nf = HashNf::new(&mut sys, CoreId(0), k, 1_000, 1);
-                nf.warm(&mut sys);
-                std::hint::black_box(nf.run_halo(&mut sys, &mut engine, 30))
-            });
+        bench(&format!("hash_nf/software/{}", kind.name()), || {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut nf = HashNf::new(&mut sys, CoreId(0), kind, 1_000, 1);
+            nf.warm(&mut sys);
+            nf.run_software(&mut sys, 30)
+        });
+        bench(&format!("hash_nf/halo/{}", kind.name()), || {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+            let mut nf = HashNf::new(&mut sys, CoreId(0), kind, 1_000, 1);
+            nf.warm(&mut sys);
+            nf.run_halo(&mut sys, &mut engine, 30)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_nf);
-criterion_main!(benches);

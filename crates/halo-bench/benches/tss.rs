@@ -1,16 +1,9 @@
-//! Criterion benches over tuple space search (Fig. 11's machinery).
+//! Wall-clock benches over tuple space search (Fig. 11's machinery).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use halo_bench::experiments::fig11;
+use halo_bench::microbench::bench;
 
-fn bench_tss(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tuple_space_search");
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::from_parameter("quick_sweep"), |b| {
-        b.iter(|| std::hint::black_box(fig11::run(true)));
+fn main() {
+    bench("tuple_space_search/quick_sweep", || {
+        halo_bench::experiments::fig11::run(true)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tss);
-criterion_main!(benches);

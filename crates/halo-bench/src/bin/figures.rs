@@ -1,11 +1,20 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|all]
+//! figures [--full] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
 //! identical shapes); pass `--full` for the paper-scale sweeps.
+//!
+//! Independent sweep points fan out over worker threads: `--jobs N`
+//! (or the `HALO_JOBS` environment variable) sets the worker count,
+//! defaulting to the host's available parallelism. Results are merged
+//! in point order, so stdout is byte-identical at any jobs level;
+//! progress and timing go to stderr.
+//!
+//! `figures bench-sweep` measures one sequential and one parallel run
+//! of the ported sweeps and writes `BENCH_sweep.json`.
 
 use halo_bench::experiments as ex;
 
@@ -13,20 +22,80 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let quick = !full;
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    const KNOWN: [&str; 13] = [
-        "all", "table1", "fig3", "fig4", "fig8b", "fig9", "fig10", "fig11", "fig12",
-        "table4", "fig13", "scaling", "extensions",
+    let mut jobs_flag: Option<usize> = None;
+    let mut which: Vec<&str> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().and_then(|v| v.parse().ok());
+            let Some(n) = v else {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            };
+            jobs_flag = Some(n);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            let Ok(n) = v.parse() else {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            };
+            jobs_flag = Some(n);
+        } else if !a.starts_with("--") {
+            which.push(a.as_str());
+        }
+    }
+    if let Some(n) = jobs_flag {
+        // The experiment modules read HALO_JOBS when building their
+        // runners; the flag is just a friendlier spelling of it. Set
+        // before any sweep spawns (single-threaded here, hence safe).
+        std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
+    }
+    const KNOWN: [&str; 14] = [
+        "all",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig8b",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table4",
+        "fig13",
+        "scaling",
+        "extensions",
+        "bench-sweep",
     ];
     let known_with_ablation = |n: &str| n == "ablation" || KNOWN.contains(&n);
     if let Some(bad) = which.iter().find(|n| !known_with_ablation(n)) {
         eprintln!("error: unknown experiment '{bad}'");
-        eprintln!("usage: figures [--full] [{} | ablation]...", KNOWN.join(" | "));
+        eprintln!(
+            "usage: figures [--full] [--jobs N] [{} | ablation]...",
+            KNOWN.join(" | ")
+        );
         std::process::exit(2);
+    }
+    if which.contains(&"bench-sweep") {
+        let jobs = halo_sim::default_jobs();
+        eprintln!("bench-sweep: sequential vs {jobs}-worker wall clock...");
+        let rows = halo_bench::sweep_bench::run(jobs);
+        for r in &rows {
+            eprintln!(
+                "  {}: {} points, {:.2}s -> {:.2}s ({:.2}x), identical: {}",
+                r.experiment,
+                r.points,
+                r.sequential_s,
+                r.parallel_s,
+                r.speedup(),
+                r.identical
+            );
+            assert!(r.identical, "{}: parallel output diverged", r.experiment);
+        }
+        let json = halo_bench::sweep_bench::to_json(&rows, jobs);
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        println!("{json}");
+        if which.len() == 1 {
+            return;
+        }
     }
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
@@ -76,17 +145,44 @@ fn main() {
         println!("{}", ex::scaling::table(&ex::scaling::run(quick)));
     }
     if want("extensions") {
-        println!("## Extension (§4.8) — tree-index lookup\n{}", ex::extensions::tree_lookup());
-        println!("## Extension (§4.8) — MemC3-style key-value GETs\n{}", ex::extensions::kv_gets());
-        println!("## Extension — update cost: cuckoo vs TCAM\n{}", ex::extensions::update_cost());
+        println!(
+            "## Extension (§4.8) — tree-index lookup\n{}",
+            ex::extensions::tree_lookup()
+        );
+        println!(
+            "## Extension (§4.8) — MemC3-style key-value GETs\n{}",
+            ex::extensions::kv_gets()
+        );
+        println!(
+            "## Extension — update cost: cuckoo vs TCAM\n{}",
+            ex::extensions::update_cost()
+        );
     }
     if want("ablation") {
-        println!("## Ablation — metadata cache\n{}", ex::ablation::metadata_cache());
-        println!("## Ablation — scoreboard depth\n{}", ex::ablation::scoreboard_depth());
-        println!("## Ablation — dispatch policy\n{}", ex::ablation::dispatch_policy());
+        println!(
+            "## Ablation — metadata cache\n{}",
+            ex::ablation::metadata_cache()
+        );
+        println!(
+            "## Ablation — scoreboard depth\n{}",
+            ex::ablation::scoreboard_depth()
+        );
+        println!(
+            "## Ablation — dispatch policy\n{}",
+            ex::ablation::dispatch_policy()
+        );
         println!("## Ablation — locking\n{}", ex::ablation::locking());
-        println!("## Ablation — bulk software vs HALO\n{}", ex::ablation::bulk_software());
-        println!("## Ablation — hybrid threshold\n{}", ex::ablation::hybrid_threshold());
-        println!("## Ablation — hybrid controller in action\n{}", ex::ablation::hybrid_in_action());
+        println!(
+            "## Ablation — bulk software vs HALO\n{}",
+            ex::ablation::bulk_software()
+        );
+        println!(
+            "## Ablation — hybrid threshold\n{}",
+            ex::ablation::hybrid_threshold()
+        );
+        println!(
+            "## Ablation — hybrid controller in action\n{}",
+            ex::ablation::hybrid_in_action()
+        );
     }
 }

@@ -1,11 +1,16 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //! metadata cache, scoreboard depth, dispatch policy, hardware locking,
 //! and the hybrid-mode threshold.
+//!
+//! Every study is a sweep of independent configurations, so each
+//! configuration runs as one [`SweepPoint`] on the shared runner; rows
+//! come back in configuration order, keeping the printed tables
+//! byte-identical at any `--jobs` level.
 
 use halo_accel::{AcceleratorConfig, DispatchPolicy, HaloEngine, HybridClassifier, HybridConfig};
 use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
 use halo_mem::{AccessKind, CoreId, MachineConfig, MemorySystem};
-use halo_sim::{fmt_f64, Cycle, Cycles, SplitMix64, TextTable};
+use halo_sim::{fmt_f64, point_seed, Cycle, Cycles, FnPoint, SplitMix64, SweepRunner, TextTable};
 use halo_tables::{CuckooTable, FlowKey};
 
 fn build_table(sys: &mut MemorySystem, flows: usize) -> CuckooTable {
@@ -20,146 +25,201 @@ fn build_table(sys: &mut MemorySystem, flows: usize) -> CuckooTable {
     table
 }
 
+/// Boxed row-producing point used by studies whose configurations need
+/// heterogeneous closures.
+type RowPoint<'a> = FnPoint<Box<dyn Fn() -> Vec<String> + Send + 'a>>;
+
+fn sweep_rows(name: &str, points: Vec<RowPoint<'_>>, headers: Vec<&str>) -> TextTable {
+    let rows = SweepRunner::from_env(name).run(points);
+    let mut t = TextTable::new(headers);
+    for r in rows {
+        t.row(r);
+    }
+    t
+}
+
 /// Metadata cache on/off: average blocking-lookup latency.
 #[must_use]
 pub fn metadata_cache() -> TextTable {
-    let mut t = TextTable::new(vec!["metadata cache", "avg LOOKUP_B latency (cy)"]);
-    for enabled in [true, false] {
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        let table = build_table(&mut sys, 20_000);
-        let cfg = AcceleratorConfig {
-            metadata_cache: enabled,
-            ..AcceleratorConfig::default()
-        };
-        let mut engine = HaloEngine::new(&sys, cfg);
-        let mut rng = SplitMix64::new(4);
-        let mut total = 0u64;
-        let mut t0 = Cycle(0);
-        const N: u64 = 200;
-        for _ in 0..N {
-            let key = FlowKey::synthetic(rng.below(20_000), 13);
-            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t0);
-            total += (done - t0).0;
-            t0 = done;
-        }
-        t.row(vec![
-            if enabled { "on (10 tables)" } else { "off" }.into(),
-            fmt_f64(total as f64 / N as f64),
-        ]);
-    }
-    t
+    let points: Vec<RowPoint<'_>> = [true, false]
+        .iter()
+        .enumerate()
+        .map(|(i, &enabled)| {
+            let seed = point_seed("ablation.metadata_cache", i as u64);
+            let f: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                let table = build_table(&mut sys, 20_000);
+                let cfg = AcceleratorConfig {
+                    metadata_cache: enabled,
+                    ..AcceleratorConfig::default()
+                };
+                let mut engine = HaloEngine::new(&sys, cfg);
+                let mut rng = SplitMix64::new(seed);
+                let mut total = 0u64;
+                let mut t0 = Cycle(0);
+                const N: u64 = 200;
+                for _ in 0..N {
+                    let key = FlowKey::synthetic(rng.below(20_000), 13);
+                    let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, t0);
+                    total += (done - t0).0;
+                    t0 = done;
+                }
+                vec![
+                    if enabled { "on (10 tables)" } else { "off" }.into(),
+                    fmt_f64(total as f64 / N as f64),
+                ]
+            });
+            FnPoint::new(
+                format!("metadata cache {}", if enabled { "on" } else { "off" }),
+                f,
+            )
+        })
+        .collect();
+    sweep_rows(
+        "ablation.metadata_cache",
+        points,
+        vec!["metadata cache", "avg LOOKUP_B latency (cy)"],
+    )
 }
 
 /// Scoreboard depth sweep: non-blocking batch throughput.
 #[must_use]
 pub fn scoreboard_depth() -> TextTable {
-    let mut t = TextTable::new(vec!["scoreboard depth", "NB throughput (lookups/kcy)"]);
-    for depth in [1usize, 2, 10, 32] {
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        let table = build_table(&mut sys, 20_000);
-        let cfg = AcceleratorConfig {
-            scoreboard_depth: depth,
-            ..AcceleratorConfig::default()
-        };
-        let mut engine = HaloEngine::new(&sys, cfg);
-        let dest = sys.data_mut().alloc_lines(64);
-        let mut rng = SplitMix64::new(4);
-        let start = Cycle(0);
-        let mut t0 = start;
-        const N: u64 = 400;
-        let mut done_total = 0u64;
-        while done_total < N {
-            let batch = 8.min(N - done_total);
-            let mut batch_done = t0;
-            for i in 0..batch {
-                let key = FlowKey::synthetic(rng.below(20_000), 13);
-                let h = engine.lookup_nb(
-                    &mut sys,
-                    CoreId(0),
-                    &table,
-                    &key,
-                    None,
-                    dest + i * 8,
-                    t0 + Cycles(i),
-                );
-                batch_done = batch_done.max(h.result_at);
-            }
-            let (_, snap) = engine.snapshot_read(&mut sys, CoreId(0), dest, batch_done);
-            t0 = snap;
-            done_total += batch;
-        }
-        t.row(vec![
-            depth.to_string(),
-            fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
-        ]);
-    }
-    t
+    let points: Vec<RowPoint<'_>> = [1usize, 2, 10, 32]
+        .iter()
+        .enumerate()
+        .map(|(i, &depth)| {
+            let seed = point_seed("ablation.scoreboard_depth", i as u64);
+            let f: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                let table = build_table(&mut sys, 20_000);
+                let cfg = AcceleratorConfig {
+                    scoreboard_depth: depth,
+                    ..AcceleratorConfig::default()
+                };
+                let mut engine = HaloEngine::new(&sys, cfg);
+                let dest = sys.data_mut().alloc_lines(64);
+                let mut rng = SplitMix64::new(seed);
+                let start = Cycle(0);
+                let mut t0 = start;
+                const N: u64 = 400;
+                let mut done_total = 0u64;
+                while done_total < N {
+                    let batch = 8.min(N - done_total);
+                    let mut batch_done = t0;
+                    for i in 0..batch {
+                        let key = FlowKey::synthetic(rng.below(20_000), 13);
+                        let h = engine.lookup_nb(
+                            &mut sys,
+                            CoreId(0),
+                            &table,
+                            &key,
+                            None,
+                            dest + i * 8,
+                            t0 + Cycles(i),
+                        );
+                        batch_done = batch_done.max(h.result_at);
+                    }
+                    let (_, snap) = engine.snapshot_read(&mut sys, CoreId(0), dest, batch_done);
+                    t0 = snap;
+                    done_total += batch;
+                }
+                vec![
+                    depth.to_string(),
+                    fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
+                ]
+            });
+            FnPoint::new(format!("scoreboard depth {depth}"), f)
+        })
+        .collect();
+    sweep_rows(
+        "ablation.scoreboard_depth",
+        points,
+        vec!["scoreboard depth", "NB throughput (lookups/kcy)"],
+    )
 }
 
 /// Dispatch policy comparison on a multi-table workload.
 #[must_use]
 pub fn dispatch_policy() -> TextTable {
-    let mut t = TextTable::new(vec!["dispatch policy", "throughput (lookups/kcy)", "accels used"]);
-    for (name, policy) in [
+    let policies = [
         ("table-hash (paper)", DispatchPolicy::TableHash),
         ("round-robin", DispatchPolicy::RoundRobin),
         ("key-hash", DispatchPolicy::KeyHash),
-    ] {
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        // Ten tables, queries spread across them (a tuple-space-like
-        // multi-table pattern).
-        let tables: Vec<CuckooTable> = (0..10).map(|_| build_table(&mut sys, 2_000)).collect();
-        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-        engine.set_policy(policy);
-        let mut rng = SplitMix64::new(4);
-        let start = Cycle(0);
-        let mut finish = start;
-        const N: u64 = 400;
-        for i in 0..N {
-            let table = &tables[(i % 10) as usize];
-            let key = FlowKey::synthetic(rng.below(2_000), 13);
-            let tr = table.lookup_traced(sys.data_mut(), &key, false);
-            let h = halo_tables::hash_key(&key, halo_tables::SEED_PRIMARY);
-            let out = engine.dispatch(
-                &mut sys,
-                CoreId(0),
-                table.meta_addr(),
-                &tr,
-                h,
-                None,
-                None,
-                start + Cycles(i * 2), // steady 0.5 queries/cycle offered
-            );
-            finish = finish.max(out.complete);
-        }
-        let used = engine
-            .accelerators()
-            .iter()
-            .filter(|a| a.queries() > 0)
-            .count();
-        t.row(vec![
-            name.into(),
-            fmt_f64(crate::experiments::harness::kilo_throughput(N, finish - start)),
-            used.to_string(),
-        ]);
-    }
-    t
+    ];
+    let points: Vec<RowPoint<'_>> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, policy))| {
+            let seed = point_seed("ablation.dispatch_policy", i as u64);
+            let f: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                // Ten tables, queries spread across them (a tuple-space-like
+                // multi-table pattern).
+                let tables: Vec<CuckooTable> =
+                    (0..10).map(|_| build_table(&mut sys, 2_000)).collect();
+                let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+                engine.set_policy(policy);
+                let mut rng = SplitMix64::new(seed);
+                let start = Cycle(0);
+                let mut finish = start;
+                const N: u64 = 400;
+                for i in 0..N {
+                    let table = &tables[(i % 10) as usize];
+                    let key = FlowKey::synthetic(rng.below(2_000), 13);
+                    let tr = table.lookup_traced(sys.data_mut(), &key, false);
+                    let h = halo_tables::hash_key(&key, halo_tables::SEED_PRIMARY);
+                    let out = engine.dispatch(
+                        &mut sys,
+                        CoreId(0),
+                        table.meta_addr(),
+                        &tr,
+                        h,
+                        None,
+                        None,
+                        start + Cycles(i * 2), // steady 0.5 queries/cycle offered
+                    );
+                    finish = finish.max(out.complete);
+                }
+                let used = engine
+                    .accelerators()
+                    .iter()
+                    .filter(|a| a.queries() > 0)
+                    .count();
+                vec![
+                    name.into(),
+                    fmt_f64(crate::experiments::harness::kilo_throughput(
+                        N,
+                        finish - start,
+                    )),
+                    used.to_string(),
+                ]
+            });
+            FnPoint::new(name, f)
+        })
+        .collect();
+    sweep_rows(
+        "ablation.dispatch_policy",
+        points,
+        vec!["dispatch policy", "throughput (lookups/kcy)", "accels used"],
+    )
 }
 
 /// Hardware lock bit vs software optimistic locking under a concurrent
 /// writer.
 #[must_use]
 pub fn locking() -> TextTable {
-    let mut t = TextTable::new(vec!["locking scheme", "avg lookup latency (cy)"]);
+    let sw_seed = point_seed("ablation.locking", 0);
+    let hw_seed = point_seed("ablation.locking", 1);
 
     // Software locking: reader pays the version-check instructions.
-    {
+    let software: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
         let mut sys = MemorySystem::new(MachineConfig::default());
         let mut table = build_table(&mut sys, 5_000);
         let mut scratch = Scratch::new(&mut sys);
         scratch.warm(&mut sys, CoreId(0));
         let mut core = CoreModel::new(CoreId(0), sys.config());
-        let mut rng = SplitMix64::new(4);
+        let mut rng = SplitMix64::new(sw_seed);
         let mut total = 0u64;
         let mut t0 = Cycle(0);
         const N: u64 = 150;
@@ -176,20 +236,20 @@ pub fn locking() -> TextTable {
             total += (r.finish - r.start).0;
             t0 = r.finish;
         }
-        t.row(vec![
+        vec![
             "software optimistic".into(),
             fmt_f64(total as f64 / N as f64),
-        ]);
-    }
+        ]
+    });
 
     // Hardware lock bit: the accelerator pins lines; a concurrent
     // writer's stores stall on the lock instead of the reader paying
     // per-lookup instructions.
-    {
+    let hardware: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
         let mut sys = MemorySystem::new(MachineConfig::default());
         let mut table = build_table(&mut sys, 5_000);
         let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-        let mut rng = SplitMix64::new(4);
+        let mut rng = SplitMix64::new(hw_seed);
         let mut total = 0u64;
         let mut t0 = Cycle(0);
         const N: u64 = 150;
@@ -207,128 +267,159 @@ pub fn locking() -> TextTable {
             total += (done - t0).0;
             t0 = done;
         }
-        t.row(vec![
+        vec![
             "HALO hardware lock bit".into(),
             fmt_f64(total as f64 / N as f64),
-        ]);
-    }
-    t
+        ]
+    });
+
+    sweep_rows(
+        "ablation.locking",
+        vec![
+            FnPoint::new("software optimistic", software),
+            FnPoint::new("hardware lock bit", hardware),
+        ],
+        vec!["locking scheme", "avg lookup latency (cy)"],
+    )
 }
 
 /// Hybrid-mode threshold sweep: where does the SW/HALO crossover sit?
 #[must_use]
 pub fn hybrid_threshold() -> TextTable {
-    let mut t = TextTable::new(vec!["flows", "software cy/lookup", "HALO cy/lookup", "faster"]);
-    for flows in [8usize, 32, 64, 256, 4096] {
-        // Software path with the table warm in private caches.
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
-        for id in 0..flows as u64 {
-            let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
-        }
-        for a in table.all_lines().collect::<Vec<_>>() {
-            // Small working sets stay private-cache resident in steady
-            // state; larger ones realistically live in the LLC (the
-            // rest of the datapath competes for L1/L2).
-            if flows <= 256 {
-                sys.warm_private(CoreId(0), a);
-            } else {
-                sys.warm_llc(a);
-            }
-        }
-        let mut scratch = Scratch::new(&mut sys);
-        scratch.warm(&mut sys, CoreId(0));
-        let mut core = CoreModel::new(CoreId(0), sys.config());
-        let mut rng = SplitMix64::new(4);
-        let mut sw_total = 0u64;
-        let mut t0 = Cycle(0);
-        const N: u64 = 150;
-        for _ in 0..N {
-            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
-            let tr = table.lookup_traced(sys.data_mut(), &key, true);
-            let prog = build_sw_lookup(&tr, &mut scratch, None);
-            let r = core.run(&prog, &mut sys, t0);
-            sw_total += (r.finish - r.start).0;
-            t0 = r.finish;
-        }
-        let sw = sw_total as f64 / N as f64;
+    let points: Vec<RowPoint<'_>> = [8usize, 32, 64, 256, 4096]
+        .iter()
+        .enumerate()
+        .map(|(i, &flows)| {
+            let seed = point_seed("ablation.hybrid_threshold", i as u64);
+            let f: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+                // Software path with the table warm in private caches.
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
+                for id in 0..flows as u64 {
+                    let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+                }
+                for a in table.all_lines().collect::<Vec<_>>() {
+                    // Small working sets stay private-cache resident in steady
+                    // state; larger ones realistically live in the LLC (the
+                    // rest of the datapath competes for L1/L2).
+                    if flows <= 256 {
+                        sys.warm_private(CoreId(0), a);
+                    } else {
+                        sys.warm_llc(a);
+                    }
+                }
+                let mut scratch = Scratch::new(&mut sys);
+                scratch.warm(&mut sys, CoreId(0));
+                let mut core = CoreModel::new(CoreId(0), sys.config());
+                let mut rng = SplitMix64::new(seed);
+                let mut sw_total = 0u64;
+                let mut t0 = Cycle(0);
+                const N: u64 = 150;
+                for _ in 0..N {
+                    let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+                    let tr = table.lookup_traced(sys.data_mut(), &key, true);
+                    let prog = build_sw_lookup(&tr, &mut scratch, None);
+                    let r = core.run(&prog, &mut sys, t0);
+                    sw_total += (r.finish - r.start).0;
+                    t0 = r.finish;
+                }
+                let sw = sw_total as f64 / N as f64;
 
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        let table2 = build_table(&mut sys, flows);
-        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-        let mut rng = SplitMix64::new(4);
-        let mut hw_total = 0u64;
-        let mut t0 = Cycle(0);
-        for _ in 0..N {
-            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
-            let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table2, &key, None, t0);
-            hw_total += (done - t0).0;
-            t0 = done;
-        }
-        let hw = hw_total as f64 / N as f64;
-        t.row(vec![
-            flows.to_string(),
-            fmt_f64(sw),
-            fmt_f64(hw),
-            if sw < hw { "software" } else { "HALO" }.into(),
-        ]);
-    }
-    t
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                let table2 = build_table(&mut sys, flows);
+                let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+                let mut rng = SplitMix64::new(seed);
+                let mut hw_total = 0u64;
+                let mut t0 = Cycle(0);
+                for _ in 0..N {
+                    let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+                    let (_, done) = engine.lookup_b(&mut sys, CoreId(0), &table2, &key, None, t0);
+                    hw_total += (done - t0).0;
+                    t0 = done;
+                }
+                let hw = hw_total as f64 / N as f64;
+                vec![
+                    flows.to_string(),
+                    fmt_f64(sw),
+                    fmt_f64(hw),
+                    if sw < hw { "software" } else { "HALO" }.into(),
+                ]
+            });
+            FnPoint::new(format!("{flows} flows"), f)
+        })
+        .collect();
+    sweep_rows(
+        "ablation.hybrid_threshold",
+        points,
+        vec!["flows", "software cy/lookup", "HALO cy/lookup", "faster"],
+    )
 }
 
 /// Hybrid controller in action: lookups split between modes as the flow
 /// count crosses the threshold.
 #[must_use]
 pub fn hybrid_in_action() -> TextTable {
-    let mut t = TextTable::new(vec!["flows", "sw lookups", "halo lookups", "final mode"]);
-    for flows in [16usize, 1024] {
-        let mut sys = MemorySystem::new(MachineConfig::default());
-        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
-        for id in 0..flows as u64 {
-            let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
-        }
-        for a in table.all_lines().collect::<Vec<_>>() {
-            sys.warm_llc(a);
-        }
-        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-        let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
-        let mut rng = SplitMix64::new(4);
-        let mut t0 = Cycle(0);
-        for _ in 0..1200u64 {
-            let key = FlowKey::synthetic(rng.below(flows as u64), 13);
-            let (_, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t0);
-            t0 = done;
-        }
-        let (sw, hw) = hybrid.split();
-        t.row(vec![
-            flows.to_string(),
-            sw.to_string(),
-            hw.to_string(),
-            format!("{:?}", hybrid.mode()),
-        ]);
-    }
-    t
+    let points: Vec<RowPoint<'_>> = [16usize, 1024]
+        .iter()
+        .enumerate()
+        .map(|(i, &flows)| {
+            let seed = point_seed("ablation.hybrid_in_action", i as u64);
+            let f: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+                let mut sys = MemorySystem::new(MachineConfig::default());
+                let mut table = CuckooTable::with_capacity_for(sys.data_mut(), flows, 0.8, 13);
+                for id in 0..flows as u64 {
+                    let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+                }
+                for a in table.all_lines().collect::<Vec<_>>() {
+                    sys.warm_llc(a);
+                }
+                let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+                let mut hybrid =
+                    HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
+                let mut rng = SplitMix64::new(seed);
+                let mut t0 = Cycle(0);
+                for _ in 0..1200u64 {
+                    let key = FlowKey::synthetic(rng.below(flows as u64), 13);
+                    let (_, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t0);
+                    t0 = done;
+                }
+                let (sw, hw) = hybrid.split();
+                vec![
+                    flows.to_string(),
+                    sw.to_string(),
+                    hw.to_string(),
+                    format!("{:?}", hybrid.mode()),
+                ]
+            });
+            FnPoint::new(format!("{flows} flows"), f)
+        })
+        .collect();
+    sweep_rows(
+        "ablation.hybrid_in_action",
+        points,
+        vec!["flows", "sw lookups", "halo lookups", "final mode"],
+    )
 }
-
 
 /// Optimized-software fairness check: DPDK's bulk lookup API
 /// (`rte_hash_lookup_bulk`, software pipelining for MLP) vs scalar
 /// software vs HALO non-blocking, on an LLC-resident table.
 #[must_use]
 pub fn bulk_software() -> TextTable {
-    use halo_cpu::build_sw_lookup_bulk;
-    let mut t = TextTable::new(vec!["approach", "throughput (lookups/kcy)"]);
     const FLOWS: usize = 20_000;
     const N: u64 = 320;
+    let scalar_seed = point_seed("ablation.bulk_software", 0);
+    let bulk_seed = point_seed("ablation.bulk_software", 1);
+    let nb_seed = point_seed("ablation.bulk_software", 2);
 
     // Scalar software.
-    {
+    let scalar: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
         let mut sys = MemorySystem::new(MachineConfig::default());
         let table = build_table(&mut sys, FLOWS);
         let mut scratch = Scratch::new(&mut sys);
         scratch.warm(&mut sys, CoreId(0));
         let mut core = CoreModel::new(CoreId(0), sys.config());
-        let mut rng = SplitMix64::new(4);
+        let mut rng = SplitMix64::new(scalar_seed);
         let start = Cycle(0);
         let mut t0 = start;
         for _ in 0..N {
@@ -337,20 +428,21 @@ pub fn bulk_software() -> TextTable {
             let prog = build_sw_lookup(&tr, &mut scratch, None);
             t0 = core.run(&prog, &mut sys, t0).finish;
         }
-        t.row(vec![
+        vec![
             "software (scalar)".into(),
             fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
-        ]);
-    }
+        ]
+    });
 
     // Bulk software (bursts of 8).
-    {
+    let bulk: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+        use halo_cpu::build_sw_lookup_bulk;
         let mut sys = MemorySystem::new(MachineConfig::default());
         let table = build_table(&mut sys, FLOWS);
         let mut scratch = Scratch::new(&mut sys);
         scratch.warm(&mut sys, CoreId(0));
         let mut core = CoreModel::new(CoreId(0), sys.config());
-        let mut rng = SplitMix64::new(4);
+        let mut rng = SplitMix64::new(bulk_seed);
         let start = Cycle(0);
         let mut t0 = start;
         let mut done = 0u64;
@@ -367,19 +459,28 @@ pub fn bulk_software() -> TextTable {
             t0 = core.run(&prog, &mut sys, t0).finish;
             done += burst;
         }
-        t.row(vec![
+        vec![
             "software (bulk x8)".into(),
             fmt_f64(crate::experiments::harness::kilo_throughput(N, t0 - start)),
-        ]);
-    }
+        ]
+    });
 
     // HALO non-blocking (bursts of 8).
-    {
-        let mut w = crate::experiments::harness::SingleTableWorkload::new(1 << 15, 0.6, 4);
+    let halo_nb: Box<dyn Fn() -> Vec<String> + Send> = Box::new(move || {
+        let mut w = crate::experiments::harness::SingleTableWorkload::new(1 << 15, 0.6, nb_seed);
         let thr = w.throughput(crate::experiments::harness::Approach::HaloNonBlocking, N);
-        t.row(vec!["HALO non-blocking".into(), fmt_f64(thr)]);
-    }
-    t
+        vec!["HALO non-blocking".into(), fmt_f64(thr)]
+    });
+
+    sweep_rows(
+        "ablation.bulk_software",
+        vec![
+            FnPoint::new("software scalar", scalar),
+            FnPoint::new("software bulk", bulk),
+            FnPoint::new("HALO non-blocking", halo_nb),
+        ],
+        vec!["approach", "throughput (lookups/kcy)"],
+    )
 }
 
 #[cfg(test)]
@@ -405,7 +506,12 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
-        assert!(vals[2] > vals[0], "depth 10 ({}) must beat depth 1 ({})", vals[2], vals[0]);
+        assert!(
+            vals[2] > vals[0],
+            "depth 10 ({}) must beat depth 1 ({})",
+            vals[2],
+            vals[0]
+        );
     }
 
     #[test]
@@ -430,8 +536,18 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
             .collect();
-        assert!(vals[1] > vals[0], "bulk {} must beat scalar {}", vals[1], vals[0]);
-        assert!(vals[2] > vals[1], "HALO {} must beat bulk {}", vals[2], vals[1]);
+        assert!(
+            vals[1] > vals[0],
+            "bulk {} must beat scalar {}",
+            vals[1],
+            vals[0]
+        );
+        assert!(
+            vals[2] > vals[1],
+            "HALO {} must beat bulk {}",
+            vals[2],
+            vals[1]
+        );
     }
 
     #[test]

@@ -26,9 +26,8 @@ pub fn tree_lookup() -> TextTable {
     // tables do.
     for keys in [50_000u64, 100_000, 400_000] {
         let mut sys = MemorySystem::new(MachineConfig::default());
-        let entries: Vec<(FlowKey, u64)> = (0..keys)
-            .map(|i| (FlowKey::synthetic(i, 16), i))
-            .collect();
+        let entries: Vec<(FlowKey, u64)> =
+            (0..keys).map(|i| (FlowKey::synthetic(i, 16), i)).collect();
         let tree = DecisionTree::build(sys.data_mut(), &entries);
         for a in tree.all_lines().collect::<Vec<_>>() {
             sys.warm_llc(a);
@@ -228,7 +227,10 @@ mod tests {
         let t = tree_lookup();
         // LLC-resident trees must clearly benefit; allow the smallest
         // (partially L2-resident) to be near parity.
-        let last: f64 = col(&t, t.len() - 1, 4).trim_end_matches('x').parse().unwrap();
+        let last: f64 = col(&t, t.len() - 1, 4)
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
         assert!(last > 1.3, "largest tree speedup {last}");
         for row in 0..t.len() {
             let speedup: f64 = col(&t, row, 4).trim_end_matches('x').parse().unwrap();

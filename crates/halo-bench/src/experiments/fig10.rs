@@ -5,7 +5,7 @@
 use halo_accel::{AcceleratorConfig, HaloEngine};
 use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
 use halo_mem::{CoreId, MachineConfig, MemorySystem};
-use halo_sim::{fmt_f64, Cycle, SplitMix64, TextTable};
+use halo_sim::{fmt_f64, point_seed, Cycle, SplitMix64, SweepPoint, SweepRunner, TextTable};
 use halo_tables::{CuckooTable, FlowKey};
 
 /// One bar of Fig. 10.
@@ -121,7 +121,16 @@ fn avg_halo_latency(flows: usize, warm_llc: bool, seed: u64) -> (f64, f64) {
         }
         let trace = table.lookup_traced(sys.data_mut(), &key, false);
         let h = halo_tables::hash_key(&key, halo_tables::SEED_PRIMARY);
-        let out = engine.dispatch(&mut sys, CoreId(0), table.meta_addr(), &trace, h, None, None, t);
+        let out = engine.dispatch(
+            &mut sys,
+            CoreId(0),
+            table.meta_addr(),
+            &trace,
+            h,
+            None,
+            None,
+            t,
+        );
         total += (out.complete - t).0;
         data += out.data_cycles.0;
         t = out.complete;
@@ -129,18 +138,86 @@ fn avg_halo_latency(flows: usize, warm_llc: bool, seed: u64) -> (f64, f64) {
     (total as f64 / N as f64, data as f64 / N as f64)
 }
 
-/// Runs the four-bar breakdown. Flow count chosen so the table is
-/// comfortably LLC-resident (the DRAM bars flush caches instead).
+/// One of the seven independent latency measurements behind the four
+/// bars. Each returns `(total, data)` cycles; the software measurements
+/// have no separable data component, so `data` is 0 there.
+#[derive(Debug, Clone, Copy)]
+enum Fig10Meas {
+    /// Software lookup latency with the given residency and locking.
+    Software { warm_llc: bool, locking: bool },
+    /// Software compute-only proxy (tiny private-cache-resident table).
+    SoftwareCompute,
+    /// HALO blocking lookup latency with the given residency.
+    Halo { warm_llc: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fig10PointSpec {
+    meas: Fig10Meas,
+    flows: usize,
+    seed: u64,
+}
+
+impl SweepPoint for Fig10PointSpec {
+    type Row = (f64, f64);
+
+    fn run(&self) -> (f64, f64) {
+        match self.meas {
+            Fig10Meas::Software { warm_llc, locking } => (
+                avg_sw_latency(self.flows, warm_llc, locking, self.seed),
+                0.0,
+            ),
+            Fig10Meas::SoftwareCompute => (sw_compute_proxy(self.flows, self.seed), 0.0),
+            Fig10Meas::Halo { warm_llc } => avg_halo_latency(self.flows, warm_llc, self.seed),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{:?}", self.meas)
+    }
+}
+
+/// Runs the four-bar breakdown on an explicit runner. Flow count chosen
+/// so the table is comfortably LLC-resident (the DRAM bars flush caches
+/// instead).
 #[must_use]
-pub fn run() -> Vec<Fig10Bar> {
+pub fn run_with(runner: &SweepRunner) -> Vec<Fig10Bar> {
     const FLOWS: usize = 20_000;
-    let sw_llc_lock = avg_sw_latency(FLOWS, true, true, 3);
-    let sw_llc_nolock = avg_sw_latency(FLOWS, true, false, 3);
-    let sw_compute = sw_compute_proxy(FLOWS, 3);
-    let sw_dram_lock = avg_sw_latency(FLOWS, false, true, 3);
-    let sw_dram_nolock = avg_sw_latency(FLOWS, false, false, 3);
-    let (halo_llc, halo_llc_data) = avg_halo_latency(FLOWS, true, 3);
-    let (halo_dram, halo_dram_data) = avg_halo_latency(FLOWS, false, 3);
+    let measurements = [
+        Fig10Meas::Software {
+            warm_llc: true,
+            locking: true,
+        },
+        Fig10Meas::Software {
+            warm_llc: true,
+            locking: false,
+        },
+        Fig10Meas::SoftwareCompute,
+        Fig10Meas::Software {
+            warm_llc: false,
+            locking: true,
+        },
+        Fig10Meas::Software {
+            warm_llc: false,
+            locking: false,
+        },
+        Fig10Meas::Halo { warm_llc: true },
+        Fig10Meas::Halo { warm_llc: false },
+    ];
+    let points: Vec<Fig10PointSpec> = measurements
+        .iter()
+        .enumerate()
+        .map(|(i, &meas)| Fig10PointSpec {
+            meas,
+            flows: FLOWS,
+            seed: point_seed("fig10", i as u64),
+        })
+        .collect();
+    let rows = runner.run(points);
+    let (sw_llc_lock, sw_llc_nolock, sw_compute) = (rows[0].0, rows[1].0, rows[2].0);
+    let (sw_dram_lock, sw_dram_nolock) = (rows[3].0, rows[4].0);
+    let (halo_llc, halo_llc_data) = rows[5];
+    let (halo_dram, halo_dram_data) = rows[6];
 
     let sw_llc_locking = (sw_llc_lock - sw_llc_nolock).max(0.0);
     let sw_dram_locking = (sw_dram_lock - sw_dram_nolock).max(0.0);
@@ -172,13 +249,16 @@ pub fn run() -> Vec<Fig10Bar> {
     ]
 }
 
+/// Runs the four-bar breakdown with default parallelism.
+#[must_use]
+pub fn run() -> Vec<Fig10Bar> {
+    run_with(&SweepRunner::from_env("fig10"))
+}
+
 /// Formats like the paper's Fig. 10 (normalized to Software-LLC).
 #[must_use]
 pub fn table(bars: &[Fig10Bar]) -> TextTable {
-    let base = bars
-        .first()
-        .map_or(1.0, |b| b.total())
-        .max(1e-9);
+    let base = bars.first().map_or(1.0, |b| b.total()).max(1e-9);
     let mut t = TextTable::new(vec![
         "configuration",
         "compute(cy)",

@@ -5,7 +5,9 @@ use halo_accel::{AcceleratorConfig, HaloEngine};
 use halo_classify::{distinct_masks, PacketHeader, SearchMode, TupleSpace};
 use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
 use halo_mem::{CoreId, MachineConfig, MemorySystem};
-use halo_sim::{fmt_f64, Cycle, Cycles, SplitMix64, TextTable};
+use halo_sim::{
+    fmt_f64, point_seed, Cycle, Cycles, SplitMix64, SweepPoint, SweepRunner, TextTable,
+};
 use halo_tcam::{TcamEntry, TcamTable};
 
 /// One Fig. 11 data point.
@@ -102,16 +104,8 @@ impl TssWorkload {
                 for (i, tr) in &probes {
                     let table_addr = self.tss.tuples()[*i].table().meta_addr();
                     let h = halo_tables::hash_key(&key, halo_tables::SEED_PRIMARY) ^ (*i as u64);
-                    let out = engine.dispatch(
-                        &mut self.sys,
-                        CoreId(0),
-                        table_addr,
-                        tr,
-                        h,
-                        None,
-                        None,
-                        t,
-                    );
+                    let out =
+                        engine.dispatch(&mut self.sys, CoreId(0), table_addr, tr, h, None, None, t);
                     t = out.complete + Cycles(4);
                 }
             } else {
@@ -204,25 +198,58 @@ impl TssWorkload {
     }
 }
 
-/// Runs Fig. 11 for the paper's tuple counts.
-#[must_use]
-pub fn run(quick: bool) -> Vec<Fig11Point> {
-    let n: u64 = if quick { 80 } else { 300 };
-    let mut out = Vec::new();
-    for tuples in [5usize, 10, 15, 20] {
-        let sw = TssWorkload::new(tuples, 9).run_software(n);
-        let hb = TssWorkload::new(tuples, 9).run_halo(n, true);
-        let hnb = TssWorkload::new(tuples, 9).run_halo_nb_pipelined(n);
-        let tc = TssWorkload::new(tuples, 9).run_tcam(n);
-        out.push(Fig11Point {
+/// One sweep point: a tuple count measured across all four approaches
+/// over the same workload seed.
+#[derive(Debug, Clone, Copy)]
+struct Fig11Sweep {
+    tuples: usize,
+    lookups: u64,
+    seed: u64,
+}
+
+impl SweepPoint for Fig11Sweep {
+    type Row = Fig11Point;
+
+    fn run(&self) -> Fig11Point {
+        let (tuples, n, seed) = (self.tuples, self.lookups, self.seed);
+        let sw = TssWorkload::new(tuples, seed).run_software(n);
+        let hb = TssWorkload::new(tuples, seed).run_halo(n, true);
+        let hnb = TssWorkload::new(tuples, seed).run_halo_nb_pipelined(n);
+        let tc = TssWorkload::new(tuples, seed).run_tcam(n);
+        Fig11Point {
             tuples,
             software: sw,
             halo_b: hb / sw,
             halo_nb: hnb / sw,
             tcam: tc / sw,
-        });
+        }
     }
-    out
+
+    fn label(&self) -> String {
+        format!("{} tuples", self.tuples)
+    }
+}
+
+/// Runs Fig. 11 on an explicit runner (see [`run`] for the default).
+#[must_use]
+pub fn run_with(quick: bool, runner: &SweepRunner) -> Vec<Fig11Point> {
+    let n: u64 = if quick { 80 } else { 300 };
+    let points: Vec<Fig11Sweep> = [5usize, 10, 15, 20]
+        .iter()
+        .enumerate()
+        .map(|(i, &tuples)| Fig11Sweep {
+            tuples,
+            lookups: n,
+            seed: point_seed("fig11", i as u64),
+        })
+        .collect();
+    runner.run(points)
+}
+
+/// Runs Fig. 11 for the paper's tuple counts with default parallelism.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Fig11Point> {
+    run_with(quick, &SweepRunner::from_env("fig11"))
 }
 
 /// Formats the points like the paper's figure (normalized to software).
@@ -277,7 +304,11 @@ mod tests {
         );
         // TCAM stays fastest.
         for p in &pts {
-            assert!(p.tcam >= p.halo_nb * 0.9, "TCAM should lead at {} tuples", p.tuples);
+            assert!(
+                p.tcam >= p.halo_nb * 0.9,
+                "TCAM should lead at {} tuples",
+                p.tuples
+            );
         }
     }
 }

@@ -2,7 +2,7 @@
 //! occupancy rates, for all five approaches, normalized to software.
 
 use crate::experiments::harness::{Approach, SingleTableWorkload};
-use halo_sim::{fmt_f64, TextTable};
+use halo_sim::{fmt_f64, point_seed, SweepPoint, SweepRunner, TextTable};
 
 /// One measured cell of Fig. 9.
 #[derive(Debug, Clone, Copy)]
@@ -19,10 +19,52 @@ pub struct Fig9Cell {
     pub normalized: f64,
 }
 
-/// Runs the sweep. `quick` restricts table sizes to <= 2^18 entries and
-/// fewer lookups (the full sweep reaches the paper's 2^24).
+/// One sweep point: a (size, occupancy) group measuring all five
+/// approaches over the same workload seed, so normalization to the
+/// group's software throughput stays fair.
+#[derive(Debug, Clone, Copy)]
+struct Fig9Point {
+    entries: u64,
+    occupancy: f64,
+    lookups: u64,
+    seed: u64,
+}
+
+impl SweepPoint for Fig9Point {
+    type Row = Vec<Fig9Cell>;
+
+    fn run(&self) -> Vec<Fig9Cell> {
+        let mut out = Vec::with_capacity(5);
+        let mut sw_thr = 0.0;
+        for approach in Approach::all() {
+            let mut w = SingleTableWorkload::new(self.entries, self.occupancy, self.seed);
+            let thr = w.throughput(approach, self.lookups);
+            if approach == Approach::Software {
+                sw_thr = thr;
+            }
+            out.push(Fig9Cell {
+                entries: self.entries,
+                occupancy: self.occupancy,
+                approach,
+                throughput: thr,
+                normalized: if sw_thr > 0.0 { thr / sw_thr } else { 0.0 },
+            });
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "2^{} entries, {}% full",
+            self.entries.trailing_zeros(),
+            (self.occupancy * 100.0) as u32
+        )
+    }
+}
+
+/// Runs the sweep on an explicit runner (see [`run`] for the default).
 #[must_use]
-pub fn run(quick: bool) -> Vec<Fig9Cell> {
+pub fn run_with(quick: bool, runner: &SweepRunner) -> Vec<Fig9Cell> {
     // Full mode tops out at 2^21 entries (~150 MB of table, already
     // 5x the 32 MB LLC, i.e. deep in the paper's partially-cached
     // regime); the paper's 2^24 point costs ~15M inserts per approach
@@ -30,18 +72,10 @@ pub fn run(quick: bool) -> Vec<Fig9Cell> {
     let sizes: Vec<u64> = if quick {
         vec![1 << 3, 1 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18]
     } else {
-        vec![
-            1 << 3,
-            1 << 6,
-            1 << 9,
-            1 << 12,
-            1 << 15,
-            1 << 18,
-            1 << 21,
-        ]
+        vec![1 << 3, 1 << 6, 1 << 9, 1 << 12, 1 << 15, 1 << 18, 1 << 21]
     };
     let lookups: u64 = if quick { 300 } else { 1000 };
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &entries in &sizes {
         // Sweep occupancy at a representative mid size; elsewhere use
         // the paper's common 50% fill to bound runtime.
@@ -53,24 +87,23 @@ pub fn run(quick: bool) -> Vec<Fig9Cell> {
             &[0.25, 0.9]
         };
         for &occ in occupancies {
-            let mut sw_thr = 0.0;
-            for approach in Approach::all() {
-                let mut w = SingleTableWorkload::new(entries, occ, 42);
-                let thr = w.throughput(approach, lookups);
-                if approach == Approach::Software {
-                    sw_thr = thr;
-                }
-                out.push(Fig9Cell {
-                    entries,
-                    occupancy: occ,
-                    approach,
-                    throughput: thr,
-                    normalized: if sw_thr > 0.0 { thr / sw_thr } else { 0.0 },
-                });
-            }
+            points.push(Fig9Point {
+                entries,
+                occupancy: occ,
+                lookups,
+                seed: point_seed("fig9", points.len() as u64),
+            });
         }
     }
-    out
+    runner.run(points).into_iter().flatten().collect()
+}
+
+/// Runs the sweep with the default parallelism (`HALO_JOBS`, then host
+/// cores). `quick` restricts table sizes to <= 2^18 entries and fewer
+/// lookups (the full sweep reaches the paper's 2^24).
+#[must_use]
+pub fn run(quick: bool) -> Vec<Fig9Cell> {
+    run_with(quick, &SweepRunner::from_env("fig9"))
 }
 
 /// Formats the sweep as a table (one row per size/occupancy, one column
@@ -142,7 +175,11 @@ mod tests {
         // TCAM is the fastest approach at every size.
         for &e in &[1u64 << 3, 1 << 9, 1 << 15] {
             let tc = get(e, Approach::Tcam).throughput;
-            for a in [Approach::Software, Approach::HaloBlocking, Approach::HaloNonBlocking] {
+            for a in [
+                Approach::Software,
+                Approach::HaloBlocking,
+                Approach::HaloNonBlocking,
+            ] {
                 assert!(tc >= get(e, a).throughput, "TCAM not fastest at {e}");
             }
         }
@@ -153,9 +190,6 @@ mod tests {
         // (documented divergence in EXPERIMENTS.md).
         let nb = get(1 << 15, Approach::HaloNonBlocking);
         let ratio = nb.throughput / hb.throughput;
-        assert!(
-            ratio > 0.8 && ratio < 5.5,
-            "NB/B ratio {ratio} out of band"
-        );
+        assert!(ratio > 0.8 && ratio < 5.5, "NB/B ratio {ratio} out of band");
     }
 }

@@ -123,9 +123,7 @@ impl SingleTableWorkload {
         let mut t = start;
         for _ in 0..n {
             let key = self.next_key();
-            let tr = self
-                .table
-                .lookup_traced(self.sys.data_mut(), &key, true);
+            let tr = self.table.lookup_traced(self.sys.data_mut(), &key, true);
             let prog = build_sw_lookup(&tr, &mut scratch, None);
             t = core.run(&prog, &mut self.sys, t).finish;
         }
@@ -267,7 +265,11 @@ mod tests {
     fn workload_installs_to_occupancy() {
         let w = SingleTableWorkload::new(1 << 10, 0.5, 1);
         let expect = (1 << 10) / 2;
-        assert!(w.installed >= expect * 95 / 100, "installed {}", w.installed);
+        assert!(
+            w.installed >= expect * 95 / 100,
+            "installed {}",
+            w.installed
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use halo_accel::{AcceleratorConfig, HaloEngine};
 use halo_mem::{MachineConfig, MemorySystem};
-use halo_sim::{fmt_f64, TextTable};
+use halo_sim::{fmt_f64, point_seed, SweepPoint, SweepRunner, TextTable};
 use halo_vswitch::{LookupBackend, MultiCoreDatapath, ScalingReport};
 
 /// One scaling data point.
@@ -21,10 +21,16 @@ pub struct ScalingPoint {
     pub report: ScalingReport,
 }
 
-fn measure(cores: usize, backend: LookupBackend, packets: u64, churn: u64) -> ScalingReport {
+fn measure(
+    cores: usize,
+    backend: LookupBackend,
+    packets: u64,
+    churn: u64,
+    seed: u64,
+) -> ScalingReport {
     let mut sys = MemorySystem::new(MachineConfig::default());
     let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-    let mut dp = MultiCoreDatapath::new(&mut sys, cores, 5, 4_000, backend, 42);
+    let mut dp = MultiCoreDatapath::new(&mut sys, cores, 5, 4_000, backend, seed);
     let e = match backend {
         LookupBackend::Software => None,
         _ => Some(&mut engine),
@@ -32,25 +38,69 @@ fn measure(cores: usize, backend: LookupBackend, packets: u64, churn: u64) -> Sc
     dp.run(&mut sys, e, packets, churn)
 }
 
-/// Runs the scaling sweep.
+/// One sweep point: a (cores, backend, churn) configuration with its
+/// own simulated machine (each `MultiCoreDatapath` run is independent).
+#[derive(Debug, Clone, Copy)]
+struct ScalingSweep {
+    cores: usize,
+    backend: LookupBackend,
+    churn: u64,
+    packets: u64,
+    seed: u64,
+}
+
+impl SweepPoint for ScalingSweep {
+    type Row = ScalingPoint;
+
+    fn run(&self) -> ScalingPoint {
+        ScalingPoint {
+            cores: self.cores,
+            backend: self.backend,
+            churn: self.churn,
+            report: measure(
+                self.cores,
+                self.backend,
+                self.packets,
+                self.churn,
+                self.seed,
+            ),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} cores, {:?}, churn {}",
+            self.cores, self.backend, self.churn
+        )
+    }
+}
+
+/// Runs the scaling sweep on an explicit runner.
 #[must_use]
-pub fn run(quick: bool) -> Vec<ScalingPoint> {
+pub fn run_with(quick: bool, runner: &SweepRunner) -> Vec<ScalingPoint> {
     let packets: u64 = if quick { 400 } else { 1500 };
     let core_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &cores in core_counts {
         for backend in [LookupBackend::Software, LookupBackend::HaloNonBlocking] {
             for churn in [0u64, 16] {
-                out.push(ScalingPoint {
+                points.push(ScalingSweep {
                     cores,
                     backend,
                     churn,
-                    report: measure(cores, backend, packets, churn),
+                    packets,
+                    seed: point_seed("scaling", points.len() as u64),
                 });
             }
         }
     }
-    out
+    runner.run(points)
+}
+
+/// Runs the scaling sweep with default parallelism.
+#[must_use]
+pub fn run(quick: bool) -> Vec<ScalingPoint> {
+    run_with(quick, &SweepRunner::from_env("scaling"))
 }
 
 /// Formats the sweep.

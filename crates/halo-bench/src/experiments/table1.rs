@@ -97,6 +97,10 @@ mod tests {
             r.instructions
         );
         assert!((r.load_frac - 0.362).abs() < 0.03, "loads {}", r.load_frac);
-        assert!((r.store_frac - 0.118).abs() < 0.03, "stores {}", r.store_frac);
+        assert!(
+            (r.store_frac - 0.118).abs() < 0.03,
+            "stores {}",
+            r.store_frac
+        );
     }
 }

@@ -27,10 +27,7 @@ pub fn run(quick: bool) -> Table4Result {
     for &(cap, ..) in &TCAM_TABLE4 {
         rows.push((format!("TCAM {}KB", cap >> 10), tcam_model(cap)));
     }
-    rows.push((
-        "SRAM-TCAM 1MB".to_string(),
-        sram_tcam_model(1 << 20),
-    ));
+    rows.push(("SRAM-TCAM 1MB".to_string(), sram_tcam_model(1 << 20)));
     rows.push(("HALO (16 accels)".to_string(), halo_total(16)));
 
     // Measure chip-level HALO throughput on a large LLC-resident
@@ -50,8 +47,7 @@ pub fn run(quick: bool) -> Table4Result {
     let rules = 100_000u64;
     let tcam = tcam_model(tcam_capacity_for_rules(rules));
     let halo = halo_total(16);
-    let efficiency_ratio =
-        halo.queries_per_joule(halo_qps) / tcam.queries_per_joule(tcam_qps);
+    let efficiency_ratio = halo.queries_per_joule(halo_qps) / tcam.queries_per_joule(tcam_qps);
 
     Table4Result {
         rows,

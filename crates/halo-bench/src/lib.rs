@@ -3,7 +3,9 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! HALO paper's evaluation. Each experiment lives in its own module
 //! under [`experiments`]; the `figures` binary drives them from the
-//! command line, and the Criterion benches wrap the same entry points.
+//! command line (use `--jobs N` or `HALO_JOBS` to fan sweep points over
+//! worker threads), and the plain-`main` benches under `benches/` wrap
+//! the same entry points with wall-clock timing.
 //!
 //! | Paper result | Module | CLI |
 //! |---|---|---|
@@ -22,3 +24,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
+pub mod sweep_bench;

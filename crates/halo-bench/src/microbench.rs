@@ -1,0 +1,53 @@
+//! Minimal wall-clock micro-benchmark driver.
+//!
+//! The `benches/` targets used to wrap Criterion; that pulled a
+//! crates.io dependency into the workspace and broke offline builds, so
+//! they now use this dependency-free driver instead: warm up once, run
+//! a fixed number of iterations, print min/mean wall time. Simulated
+//! cycle numbers (the paper's results) come from the `figures` binary —
+//! wall time here only tracks simulation cost.
+
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the iteration count (default 5).
+pub const ITERS_ENV: &str = "HALO_BENCH_ITERS";
+
+/// Resolved iteration count.
+#[must_use]
+pub fn iterations() -> u32 {
+    std::env::var(ITERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+/// Times `f` over [`iterations`] runs (after one warm-up) and prints
+/// one result line: `name  min <t>  mean <t>  (<n> iters)`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f()); // warm-up
+    let iters = iterations();
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters;
+    println!("{name:<40} min {min:>10.2?}  mean {mean:>10.2?}  ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        bench("noop", || calls += 1);
+        assert_eq!(calls, iterations() + 1, "warm-up plus timed iterations");
+    }
+}

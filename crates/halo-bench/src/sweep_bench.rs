@@ -1,0 +1,142 @@
+//! Sequential-vs-parallel sweep benchmarking (`figures bench-sweep`).
+//!
+//! Runs representative experiment sweeps once with one worker and once
+//! with `jobs` workers, checks the serialized outputs are byte-identical
+//! (the sweep runner's ordered-merge guarantee), and reports wall-clock
+//! times as a JSON document suitable for `BENCH_sweep.json`.
+
+use std::time::Instant;
+
+use crate::experiments::{fig11, fig9, scaling};
+use halo_sim::SweepRunner;
+
+/// One sequential-vs-parallel measurement.
+#[derive(Debug, Clone)]
+pub struct SweepBenchRow {
+    /// Experiment name.
+    pub experiment: &'static str,
+    /// Sweep points executed.
+    pub points: usize,
+    /// Sequential (1 worker) wall-clock seconds.
+    pub sequential_s: f64,
+    /// Parallel (`jobs` workers) wall-clock seconds.
+    pub parallel_s: f64,
+    /// Whether the serialized rows of both runs are byte-identical.
+    pub identical: bool,
+}
+
+impl SweepBenchRow {
+    /// Sequential / parallel wall-clock ratio.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.sequential_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn bench_one(
+    experiment: &'static str,
+    jobs: usize,
+    run: impl Fn(&SweepRunner) -> (String, usize),
+) -> SweepBenchRow {
+    let seq_runner = SweepRunner::new(experiment, 1).quiet();
+    let par_runner = SweepRunner::new(experiment, jobs).quiet();
+    let ((seq_out, points), sequential_s) = timed(|| run(&seq_runner));
+    let ((par_out, _), parallel_s) = timed(|| run(&par_runner));
+    SweepBenchRow {
+        experiment,
+        points,
+        sequential_s,
+        parallel_s,
+        identical: seq_out == par_out,
+    }
+}
+
+/// Runs the benchmark suite with `jobs` parallel workers.
+#[must_use]
+pub fn run(jobs: usize) -> Vec<SweepBenchRow> {
+    vec![
+        bench_one("fig9", jobs, |r| {
+            let cells = fig9::run_with(true, r);
+            let n = cells.len() / 5; // five approaches per point
+            (fig9::table(&cells).to_csv(), n)
+        }),
+        bench_one("fig11", jobs, |r| {
+            let pts = fig11::run_with(true, r);
+            (fig11::table(&pts).to_csv(), pts.len())
+        }),
+        bench_one("scaling", jobs, |r| {
+            let pts = scaling::run_with(true, r);
+            (scaling::table(&pts).to_csv(), pts.len())
+        }),
+    ]
+}
+
+/// Serializes the rows as the `BENCH_sweep.json` document.
+#[must_use]
+pub fn to_json(rows: &[SweepBenchRow], jobs: usize) -> String {
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"sweep-runner sequential vs parallel\",\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"host_parallelism\": {host_cores},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"points\": {}, \"sequential_s\": {:.4}, \
+             \"parallel_s\": {:.4}, \"speedup\": {:.3}, \"byte_identical\": {}}}{}\n",
+            r.experiment,
+            r.points,
+            r.sequential_s,
+            r.parallel_s,
+            r.speedup(),
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole determinism guarantee: a parallel sweep serializes
+    /// byte-identically to a sequential one, for every ported sweep.
+    #[test]
+    fn parallel_sweeps_are_byte_identical_to_sequential() {
+        for row in run(4) {
+            assert!(
+                row.identical,
+                "{}: parallel output diverged from sequential",
+                row.experiment
+            );
+            assert!(row.points > 0);
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let rows = vec![SweepBenchRow {
+            experiment: "fig9",
+            points: 6,
+            sequential_s: 2.0,
+            parallel_s: 1.0,
+            identical: true,
+        }];
+        let j = to_json(&rows, 4);
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.contains("\"byte_identical\": true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -85,7 +85,14 @@ impl DecisionTree {
             mem.write_u32(a + 16, NIL);
             mem.write_u32(a + 20, NIL);
         }
-        fn link(mem: &mut SimMemory, base: Addr, lo: usize, hi: usize, depth: &mut usize, d: usize) -> u32 {
+        fn link(
+            mem: &mut SimMemory,
+            base: Addr,
+            lo: usize,
+            hi: usize,
+            depth: &mut usize,
+            d: usize,
+        ) -> u32 {
             if lo >= hi {
                 return NIL;
             }
@@ -190,7 +197,9 @@ mod tests {
     use super::*;
 
     fn entries(n: u64) -> Vec<(FlowKey, u64)> {
-        (0..n).map(|i| (FlowKey::synthetic(i, 16), i + 100)).collect()
+        (0..n)
+            .map(|i| (FlowKey::synthetic(i, 16), i + 100))
+            .collect()
     }
 
     #[test]

@@ -104,8 +104,7 @@ impl Emc {
         }
         let mut buf = [0u8; MINIFLOW_LEN];
         mem.read_bytes(a, &mut buf);
-        buf == key.as_bytes()[..MINIFLOW_LEN.min(key.len())]
-            && key.len() == MINIFLOW_LEN
+        buf == key.as_bytes()[..MINIFLOW_LEN.min(key.len())] && key.len() == MINIFLOW_LEN
     }
 
     /// Functional lookup.

@@ -204,7 +204,7 @@ impl TupleSpace {
                 match self.mode {
                     SearchMode::FirstMatch => return (Some(m), probes),
                     SearchMode::HighestPriority => {
-                        if best.map_or(true, |b| m.priority > b.priority) {
+                        if best.is_none_or(|b| m.priority > b.priority) {
                             best = Some(m);
                         }
                     }
@@ -231,7 +231,7 @@ impl TupleSpace {
                 match self.mode {
                     SearchMode::FirstMatch => return Some(m),
                     SearchMode::HighestPriority => {
-                        if best.map_or(true, |b| m.priority > b.priority) {
+                        if best.is_none_or(|b| m.priority > b.priority) {
                             best = Some(m);
                         }
                     }
@@ -262,8 +262,7 @@ mod tests {
     #[test]
     fn first_match_returns_earliest_tuple() {
         let mut mem = SimMemory::new();
-        let mut tss =
-            TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::FirstMatch);
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::FirstMatch);
         let k = key(7);
         // Install the same flow in tuples 1 and 2.
         tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
@@ -276,8 +275,12 @@ mod tests {
     #[test]
     fn highest_priority_searches_all() {
         let mut mem = SimMemory::new();
-        let mut tss =
-            TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::HighestPriority);
+        let mut tss = TupleSpace::new(
+            &mut mem,
+            distinct_masks(3),
+            256,
+            SearchMode::HighestPriority,
+        );
         let k = key(7);
         tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
         tss.insert_rule(&mut mem, 2, &k, 9, 200).unwrap();
@@ -292,7 +295,8 @@ mod tests {
         let masks = vec![WildcardMask::exact().any_src_port().any_dst_port()];
         let mut tss = TupleSpace::new(&mut mem, masks, 256, SearchMode::FirstMatch);
         let base = PacketHeader::synthetic(3);
-        tss.insert_rule(&mut mem, 0, &base.miniflow(), 0, 42).unwrap();
+        tss.insert_rule(&mut mem, 0, &base.miniflow(), 0, 42)
+            .unwrap();
         // Same 5-tuple except ports: still matches.
         let mut other = base;
         other.src_port = base.src_port.wrapping_add(100);
@@ -313,8 +317,7 @@ mod tests {
     #[test]
     fn first_match_stops_probing_early() {
         let mut mem = SimMemory::new();
-        let mut tss =
-            TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
         let k = key(7);
         tss.insert_rule(&mut mem, 0, &k, 0, 1).unwrap();
         let (_, probes) = tss.classify_traced(&mut mem, &k, false);
@@ -324,8 +327,12 @@ mod tests {
     #[test]
     fn linear_scan_agrees_with_hashed_search() {
         let mut mem = SimMemory::new();
-        let mut tss =
-            TupleSpace::new(&mut mem, distinct_masks(8), 512, SearchMode::HighestPriority);
+        let mut tss = TupleSpace::new(
+            &mut mem,
+            distinct_masks(8),
+            512,
+            SearchMode::HighestPriority,
+        );
         for id in 0..200u64 {
             let tuple = (id % 8) as usize;
             tss.insert_rule(&mut mem, tuple, &key(id), (id % 16) as u16, id)
@@ -344,8 +351,7 @@ mod tests {
     #[test]
     fn total_rules_counts_across_tuples() {
         let mut mem = SimMemory::new();
-        let mut tss =
-            TupleSpace::new(&mut mem, distinct_masks(4), 256, SearchMode::FirstMatch);
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(4), 256, SearchMode::FirstMatch);
         for id in 0..40u64 {
             tss.insert_rule(&mut mem, (id % 4) as usize, &key(id), 0, id)
                 .unwrap();
@@ -354,6 +360,6 @@ mod tests {
         // total is at most 40 but must be positive.
         let total = tss.total_rules();
         assert!(total > 0 && total <= 40);
-        assert!(!tss.tuples()[0].is_empty() || tss.tuples()[0].len() == 0);
+        assert!(!tss.tuples().is_empty());
     }
 }

@@ -39,11 +39,9 @@ impl MemProfile {
             HitLevel::LlcRemoteDirty => self.llc_dirty += 1,
             HitLevel::Dram => self.dram += 1,
         }
-        if level > HitLevel::L2 || level == HitLevel::L2 {
-            // L2 hits cost little; count only genuine L2-miss penalty.
-            if level > HitLevel::L2 {
-                self.l2llc_miss_penalty += excess - l1_lat.min(excess);
-            }
+        // L2 hits cost little; count only genuine L2-miss penalty.
+        if level > HitLevel::L2 {
+            self.l2llc_miss_penalty += excess - l1_lat.min(excess);
         }
     }
 
@@ -220,7 +218,7 @@ impl CoreModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use halo_mem::{Addr, MachineConfig};
+    use halo_mem::MachineConfig;
 
     fn setup() -> (MemorySystem, CoreModel) {
         let sys = MemorySystem::new(MachineConfig::small());
@@ -270,7 +268,11 @@ mod tests {
             last = p.compute(3, &[last]);
         }
         let r = core.run(&p, &mut sys, Cycle(0));
-        assert!(r.duration().0 >= 30, "10 chained 3-cycle ops: {}", r.duration());
+        assert!(
+            r.duration().0 >= 30,
+            "10 chained 3-cycle ops: {}",
+            r.duration()
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ impl Scratch {
 
     /// The next scratch address (round-robin over lines, staggered
     /// within the line so consecutive uses differ).
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never ends, no Item
     pub fn next(&mut self) -> Addr {
         let line = self.cursor % self.lines;
         let off = (self.cursor / self.lines * 8) % CACHE_LINE;
@@ -83,13 +84,16 @@ impl Scratch {
 /// the measured mix (plus or minus rounding), with the dataflow spine
 /// `key → hash → bucket → signature compare → key-value → key compare`
 /// serialized exactly as the algorithm requires.
-pub fn build_sw_lookup(trace: &LookupTrace, scratch: &mut Scratch, key_addr: Option<Addr>) -> Program {
+pub fn build_sw_lookup(
+    trace: &LookupTrace,
+    scratch: &mut Scratch,
+    key_addr: Option<Addr>,
+) -> Program {
     let mut p = Program::new();
     let budget_loads = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_LOAD_FRACTION).round() as usize;
     let budget_stores = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_STORE_FRACTION).round() as usize;
     let budget_arith = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_ARITH_FRACTION).round() as usize;
-    let budget_other =
-        SW_LOOKUP_INSTRUCTIONS - budget_loads - budget_stores - budget_arith;
+    let budget_other = SW_LOOKUP_INSTRUCTIONS - budget_loads - budget_stores - budget_arith;
 
     let mut loads = 0usize;
     let mut stores = 0usize;
@@ -161,7 +165,11 @@ pub fn build_sw_lookup(trace: &LookupTrace, scratch: &mut Scratch, key_addr: Opt
             TraceStep::LoadBucket(a) => {
                 // Bucket fetches depend on the hash, not on each other:
                 // DPDK prefetches both candidate buckets.
-                let dep = if hash_done.is_empty() { &last } else { &hash_done };
+                let dep = if hash_done.is_empty() {
+                    &last
+                } else {
+                    &hash_done
+                };
                 let id = p.load(a, dep);
                 loads += 1;
                 last = vec![id];

@@ -90,7 +90,11 @@ pub struct KvStore {
 
 fn digest(key: &[u8]) -> FlowKey {
     let mut probe = [0u8; DIGEST_LEN];
-    let head: &[u8] = if key.is_empty() { &[0] } else { &key[..key.len().min(64)] };
+    let head: &[u8] = if key.is_empty() {
+        &[0]
+    } else {
+        &key[..key.len().min(64)]
+    };
     let k = FlowKey::from_bytes(head);
     // Two independent 64-bit hashes make a 128-bit digest; for keys
     // longer than 64 bytes, fold the tail in.
@@ -385,8 +389,12 @@ mod tests {
         let mut sys = MemorySystem::new(MachineConfig::default());
         let mut kv = KvStore::new(&mut sys, 20_000);
         for i in 0..10_000u64 {
-            kv.set(&mut sys, format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes())
-                .unwrap();
+            kv.set(
+                &mut sys,
+                format!("key-{i}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         kv.warm_index(&mut sys);
         let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());

@@ -99,12 +99,8 @@ impl MemorySystem {
         let slice_port = (0..cfg.slices)
             .map(|_| Resource::new("llc-slice", cfg.llc_latency, Cycles(2)))
             .collect();
-        let dram = BankedResource::new(
-            "dram-chan",
-            cfg.dram_channels,
-            cfg.dram_latency,
-            Cycles(12),
-        );
+        let dram =
+            BankedResource::new("dram-chan", cfg.dram_channels, cfg.dram_latency, Cycles(12));
         MemorySystem {
             cfg,
             mem: SimMemory::new(),
@@ -188,7 +184,13 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind, at: Cycle) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        at: Cycle,
+    ) -> AccessOutcome {
         assert!(core.0 < self.cfg.cores, "core out of range");
         let line = addr.line();
         match kind {
@@ -221,7 +223,7 @@ impl MemorySystem {
         self.stats.bump("l1d.miss");
 
         // L2 lookup.
-        let t_l2 = self.l2_port[core.0].serve(at) ;
+        let t_l2 = self.l2_port[core.0].serve(at);
         let t_l2 = t_l2.max(t_l1);
         if let Some(meta) = self.l2[core.0].lookup(line) {
             let state = meta.state;
@@ -562,7 +564,11 @@ impl MemorySystem {
 
     /// Probe the LLC directory: (present, lock release, dirty private
     /// owner, sharer mask).
-    fn llc_probe(&mut self, slice: SliceId, line: LineAddr) -> (bool, Option<Cycle>, Option<CoreId>, u64) {
+    fn llc_probe(
+        &mut self,
+        slice: SliceId,
+        line: LineAddr,
+    ) -> (bool, Option<Cycle>, Option<CoreId>, u64) {
         let locked_until = self.locks.get(&line).copied();
         let Some(meta) = self.llc[slice.0].lookup(line) else {
             return (false, locked_until, None, 0);
@@ -712,7 +718,13 @@ impl MemorySystem {
         self.invalidate_other_sharers(core, line, slice, t)
     }
 
-    fn invalidate_other_sharers(&mut self, core: CoreId, line: LineAddr, slice: SliceId, at: Cycle) -> Cycle {
+    fn invalidate_other_sharers(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        slice: SliceId,
+        at: Cycle,
+    ) -> Cycle {
         let Some(meta) = self.llc[slice.0].peek_mut(line) else {
             return at;
         };
@@ -770,7 +782,6 @@ impl MemorySystem {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -902,7 +913,10 @@ mod tests {
             }
         }
         let (h, m) = (s.stats().counter("l1d.hit"), s.stats().counter("l1d.miss"));
-        assert!(m > h, "thrashing working set should mostly miss L1: {h} hits {m} misses");
+        assert!(
+            m > h,
+            "thrashing working set should mostly miss L1: {h} hits {m} misses"
+        );
     }
 
     #[test]
@@ -999,7 +1013,9 @@ mod tests {
         let base = s.data_mut().alloc_lines(64 * 16);
         let mut t = Cycle(0);
         for i in 0..16u64 {
-            t = s.access(CoreId(0), base + i * 64, AccessKind::Load, t).complete;
+            t = s
+                .access(CoreId(0), base + i * 64, AccessKind::Load, t)
+                .complete;
         }
         assert!(s.l1_occupancy(CoreId(0)) > 0.0);
     }

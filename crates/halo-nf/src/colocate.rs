@@ -252,7 +252,11 @@ mod tests {
             hw.throughput_drop(),
             sw.throughput_drop()
         );
-        assert!(hw.throughput_drop() < 0.10, "halo drop {}", hw.throughput_drop());
+        assert!(
+            hw.throughput_drop() < 0.10,
+            "halo drop {}",
+            hw.throughput_drop()
+        );
         assert!(
             hw.l1_miss_increase() < sw.l1_miss_increase(),
             "halo must pollute less: {} vs {}",

@@ -59,7 +59,11 @@ impl ComputeNfKind {
     /// All three kinds.
     #[must_use]
     pub fn all() -> [ComputeNfKind; 3] {
-        [ComputeNfKind::Acl, ComputeNfKind::Snort, ComputeNfKind::Mtcp]
+        [
+            ComputeNfKind::Acl,
+            ComputeNfKind::Snort,
+            ComputeNfKind::Mtcp,
+        ]
     }
 }
 

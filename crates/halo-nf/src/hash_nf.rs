@@ -124,7 +124,8 @@ impl HashNf {
         entries: usize,
         seed: u64,
     ) -> Self {
-        let mut table = CuckooTable::with_capacity_for(sys.data_mut(), entries, 0.85, Self::KEY_LEN);
+        let mut table =
+            CuckooTable::with_capacity_for(sys.data_mut(), entries, 0.85, Self::KEY_LEN);
         for id in 0..entries as u64 {
             table
                 .insert(sys.data_mut(), &FlowKey::synthetic(id, Self::KEY_LEN), id)

@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn flows_within_bounds() {
-        let mut g = TrafficGen::new(
-            Scenario::SmallFlows { flows: 50 },
-            1,
-        );
+        let mut g = TrafficGen::new(Scenario::SmallFlows { flows: 50 }, 1);
         for _ in 0..1000 {
             assert!(g.next_flow() < 50);
         }

@@ -14,6 +14,11 @@
 //! * [`SplitMix64`] / [`Zipf`] — seeded, reproducible random streams for
 //!   workload generation.
 //! * [`Stats`] — counter/summary registry each component reports into.
+//! * [`SweepRunner`] / [`SweepPoint`] / [`point_seed`] — the
+//!   multi-threaded sweep runner that fans independent experiment
+//!   points over worker threads with deterministic per-point seeding
+//!   and an ordered merge (parallel output is byte-identical to
+//!   sequential).
 //! * [`TextTable`] — shared result-table formatter for the experiment
 //!   harness.
 //!
@@ -37,10 +42,14 @@ mod cycle;
 mod resource;
 mod rng;
 mod stats;
+mod sweep;
 mod table;
 
 pub use cycle::{Cycle, Cycles, CORE_HZ};
 pub use resource::{BankedResource, OutstandingWindow, Resource};
 pub use rng::{SplitMix64, Zipf};
 pub use stats::{Counter, Stats, Summary};
+pub use sweep::{
+    default_jobs, point_seed, FnPoint, SweepPoint, SweepRunner, SweepTiming, JOBS_ENV,
+};
 pub use table::{fmt_f64, TextTable};

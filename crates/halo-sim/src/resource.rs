@@ -218,7 +218,9 @@ impl BankedResource {
     pub fn new(name: &'static str, n: usize, latency: Cycles, occupancy: Cycles) -> Self {
         assert!(n > 0, "banked resource with zero banks");
         BankedResource {
-            banks: (0..n).map(|_| Resource::new(name, latency, occupancy)).collect(),
+            banks: (0..n)
+                .map(|_| Resource::new(name, latency, occupancy))
+                .collect(),
         }
     }
 
@@ -315,10 +317,7 @@ impl OutstandingWindow {
     /// the window fully drains (`at` if already empty).
     #[must_use]
     pub fn drain_time(&self, at: Cycle) -> Cycle {
-        self.inflight
-            .iter()
-            .copied()
-            .fold(at, Cycle::max)
+        self.inflight.iter().copied().fold(at, Cycle::max)
     }
 
     /// Number of times acquisition had to wait for a completion.
@@ -436,7 +435,7 @@ mod tests {
         let mut r = Resource::new("u", Cycles(4), Cycles(4));
         r.serve(Cycle(0)); // busy [0,4)
         r.serve(Cycle(6)); // busy [6,10)
-        // A request at 3 needs 4 idle cycles; gap [4,6) is too small.
+                           // A request at 3 needs 4 idle cycles; gap [4,6) is too small.
         let done = r.serve(Cycle(3));
         assert_eq!(done, Cycle(14), "must start at 10");
     }

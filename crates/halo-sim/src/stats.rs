@@ -31,12 +31,18 @@ impl Counter {
 }
 
 /// An online mean/min/max accumulator over `f64` samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -141,10 +147,7 @@ impl Stats {
 
     /// Records a sample into summary `key`, creating it if absent.
     pub fn record(&mut self, key: &str, v: f64) {
-        self.summaries
-            .entry(key.to_owned())
-            .or_insert_with(Summary::new)
-            .record(v);
+        self.summaries.entry(key.to_owned()).or_default().record(v);
     }
 
     /// Returns summary `key`, if any samples were recorded.
@@ -178,10 +181,7 @@ impl Stats {
             self.counters.entry_or_default(k).add(c.get());
         }
         for (k, s) in &other.summaries {
-            let dst = self
-                .summaries
-                .entry(k.clone())
-                .or_insert_with(Summary::new);
+            let dst = self.summaries.entry(k.clone()).or_default();
             dst.count += s.count;
             dst.sum += s.sum;
             dst.min = dst.min.min(s.min);

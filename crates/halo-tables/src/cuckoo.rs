@@ -151,11 +151,7 @@ impl CuckooTable {
     }
 
     fn check_key(&self, key: &FlowKey) {
-        assert_eq!(
-            key.len(),
-            self.meta.key_len as usize,
-            "key length mismatch"
-        );
+        assert_eq!(key.len(), self.meta.key_len as usize, "key length mismatch");
     }
 
     /// Inserts or updates `key -> value`.
@@ -508,10 +504,7 @@ mod tests {
             .filter(|s| matches!(s, TraceStep::LoadBucket(_)))
             .count();
         assert!((1..=2).contains(&buckets));
-        assert!(tr
-            .steps
-            .iter()
-            .any(|s| matches!(s, TraceStep::LoadKv(_))));
+        assert!(tr.steps.iter().any(|s| matches!(s, TraceStep::LoadKv(_))));
     }
 
     #[test]

@@ -255,8 +255,7 @@ mod tests {
         let mut mem = SimMemory::new();
         let flows = 10_000;
         let sfh = SfhTable::with_capacity_for(&mut mem, flows, 13);
-        let cuckoo =
-            crate::CuckooTable::with_capacity_for(&mut mem, flows, 0.9, 13);
+        let cuckoo = crate::CuckooTable::with_capacity_for(&mut mem, flows, 0.9, 13);
         assert!(
             sfh.footprint() > 3 * cuckoo.footprint(),
             "sfh {} vs cuckoo {}",

@@ -188,7 +188,10 @@ impl TcamTable {
     /// Functional lookup: the highest-priority matching action.
     pub fn lookup(&mut self, key: &[u8]) -> Option<u64> {
         self.lookups += 1;
-        self.entries.iter().find(|e| e.matches(key)).map(|e| e.action)
+        self.entries
+            .iter()
+            .find(|e| e.matches(key))
+            .map(|e| e.action)
     }
 
     /// Timed lookup: result plus completion cycle (pipelined, so
@@ -292,7 +295,8 @@ mod tests {
     #[test]
     fn priority_resolution_prefers_higher() {
         let mut t = TcamTable::new(16, 4);
-        t.insert(TcamEntry::new(&[1, 0], &[0xff, 0], 1, 10)).unwrap();
+        t.insert(TcamEntry::new(&[1, 0], &[0xff, 0], 1, 10))
+            .unwrap();
         t.insert(TcamEntry::new(&[1, 2], &[0xff, 0xff], 9, 20))
             .unwrap();
         assert_eq!(t.lookup(&[1, 2]), Some(20));
@@ -321,7 +325,8 @@ mod tests {
         let mut t = TcamTable::new(16, 4);
         // Insert ascending priorities: each insert shifts all others.
         for p in 0..8 {
-            t.insert(TcamEntry::exact(&[p as u8], p, u64::from(p))).unwrap();
+            t.insert(TcamEntry::exact(&[p as u8], p, u64::from(p)))
+                .unwrap();
         }
         assert!(t.update_moves() > 0, "priority inserts must shuffle");
     }

@@ -33,9 +33,7 @@ mod multicore;
 mod pipeline;
 
 pub use multicore::{MultiCoreDatapath, ScalingReport};
-pub use pipeline::{
-    Breakdown, LookupBackend, SwitchConfig, SwitchCounters, VirtualSwitch,
-};
+pub use pipeline::{Breakdown, LookupBackend, SwitchConfig, SwitchCounters, VirtualSwitch};
 
 #[cfg(test)]
 mod tests {
@@ -203,8 +201,10 @@ mod openflow_tests {
         cfg.emc_entries = 0; // force the layered search
         let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
         let pkt = PacketHeader::synthetic(3);
-        vs.install_openflow_rule(&mut sys, &pkt.miniflow(), 0, 1, 10).unwrap();
-        vs.install_openflow_rule(&mut sys, &pkt.miniflow(), 2, 9, 20).unwrap();
+        vs.install_openflow_rule(&mut sys, &pkt.miniflow(), 0, 1, 10)
+            .unwrap();
+        vs.install_openflow_rule(&mut sys, &pkt.miniflow(), 2, 9, 20)
+            .unwrap();
         let (action, _) = vs.process_packet(&mut sys, None, &pkt, Cycle(0));
         assert_eq!(action, Some(20), "higher priority must win");
     }

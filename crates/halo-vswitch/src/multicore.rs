@@ -66,6 +66,17 @@ pub struct ScalingReport {
     pub dirty_transfers: u64,
 }
 
+// The scaling sweep runs whole `MultiCoreDatapath` experiments on
+// worker threads, so the datapath (and the report it produces) must be
+// `Send`. All state is owned values — `Vec`s, `SplitMix64`, the tuple
+// space over plain simulated memory — with no interior mutability or
+// shared handles; this assertion keeps it that way.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MultiCoreDatapath>();
+    assert_send::<ScalingReport>();
+};
+
 impl MultiCoreDatapath {
     /// Builds a datapath with `cores` PMD threads over `tuples` shared
     /// MegaFlow tuples holding `flows` rules.
@@ -155,9 +166,11 @@ impl MultiCoreDatapath {
         }
 
         // Shared MegaFlow search.
-        let (m, probes) =
-            self.megaflow
-                .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+        let (m, probes) = self.megaflow.classify_traced(
+            sys.data_mut(),
+            &key,
+            self.backend == LookupBackend::Software,
+        );
         match self.backend {
             LookupBackend::Software => {
                 for (_, tr) in &probes {
@@ -185,7 +198,11 @@ impl MultiCoreDatapath {
                         h,
                         None,
                         dest,
-                        if blocking { done } else { t + Cycles(slot as u64) },
+                        if blocking {
+                            done
+                        } else {
+                            t + Cycles(slot as u64)
+                        },
                     );
                     if blocking {
                         done = out.complete + Cycles(4);

@@ -417,9 +417,11 @@ impl VirtualSwitch {
 
         // --- MegaFlow tuple space search. --------------------------------
         if action.is_none() {
-            let (m, probes) = self
-                .megaflow
-                .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+            let (m, probes) = self.megaflow.classify_traced(
+                sys.data_mut(),
+                &key,
+                self.backend == LookupBackend::Software,
+            );
             let done = match self.backend {
                 LookupBackend::Software => {
                     let mut tt = t;
@@ -436,13 +438,14 @@ impl VirtualSwitch {
                     for (i, tr) in &probes {
                         let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
                         let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
-                        let out = engine.dispatch(sys, self.core, table_addr, tr, h, None, None, tt);
+                        let out =
+                            engine.dispatch(sys, self.core, table_addr, tr, h, None, None, tt);
                         tt = out.complete + Cycles(4);
                     }
                     tt
                 }
                 LookupBackend::HaloNonBlocking => {
-                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
+                    let engine = engine.expect("HALO backend needs an engine");
                     // Issue every probed tuple at once; results land in
                     // distinct words of one destination line.
                     let mut finish = t;
@@ -477,15 +480,15 @@ impl VirtualSwitch {
                         emc.insert(sys.data_mut(), &key, hit.action);
                     }
                 }
-            } else if self.openflow.is_some() {
+            } else if let Some(openflow) = &self.openflow {
                 // --- OpenFlow slow path (upcall): a priority search over
                 // every tuple, then install the winning rule into the
                 // MegaFlow layer so later packets of the flow stay fast.
-                let (of_match, of_probes) = self
-                    .openflow
-                    .as_ref()
-                    .expect("checked above")
-                    .classify_traced(sys.data_mut(), &key, self.backend == LookupBackend::Software);
+                let (of_match, of_probes) = openflow.classify_traced(
+                    sys.data_mut(),
+                    &key,
+                    self.backend == LookupBackend::Software,
+                );
                 let mut tt = t;
                 // The slow path always runs in software (OVS upcalls are
                 // handler-thread work), plus a fixed rule-install cost.
@@ -500,9 +503,9 @@ impl VirtualSwitch {
                     // Install the resolved flow into MegaFlow (the
                     // revalidator's handiwork), modeled as a fixed
                     // upcall/installation overhead.
-                    let _ = self
-                        .megaflow
-                        .insert_rule(sys.data_mut(), hit.tuple, &key, 0, hit.action);
+                    let _ =
+                        self.megaflow
+                            .insert_rule(sys.data_mut(), hit.tuple, &key, 0, hit.action);
                     tt += Cycles(UPCALL_INSTALL_CYCLES);
                     if self.emc_promotion {
                         if let Some(emc) = &mut self.emc {

@@ -17,7 +17,10 @@ fn main() {
     println!("populating 50,000 objects...");
     for i in 0..50_000u64 {
         let key = format!("session:{i}");
-        let value = format!("{{\"user\":{i},\"ttl\":300,\"payload\":\"{}\"}}", "x".repeat(64));
+        let value = format!(
+            "{{\"user\":{i},\"ttl\":300,\"payload\":\"{}\"}}",
+            "x".repeat(64)
+        );
         kv.set(&mut sys, key.as_bytes(), value.as_bytes())
             .expect("store sized for the population");
     }

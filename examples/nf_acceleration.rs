@@ -6,9 +6,7 @@
 
 use halo_nfv::accel::{AcceleratorConfig, HaloEngine};
 use halo_nfv::mem::{CoreId, MachineConfig, MemorySystem};
-use halo_nfv::nf::{
-    colocation_experiment, ComputeNfKind, HashNf, HashNfKind, SwitchImpl,
-};
+use halo_nfv::nf::{colocation_experiment, ComputeNfKind, HashNf, HashNfKind, SwitchImpl};
 
 fn main() {
     // --- Fig. 13: hash-table NF speedups. ------------------------------

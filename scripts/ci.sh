@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Single entry point for the repository's checks: CI runs exactly this
+# script, so local `scripts/ci.sh` and the workflow cannot drift.
+#
+# The whole sequence works offline: the workspace has path-only
+# dependencies and a committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --workspace
+
+echo "ci: all checks passed"

@@ -55,8 +55,8 @@
 
 pub use halo_accel as accel;
 pub use halo_classify as classify;
-pub use halo_kvstore as kvstore;
 pub use halo_cpu as cpu;
+pub use halo_kvstore as kvstore;
 pub use halo_mem as mem;
 pub use halo_nf as nf;
 pub use halo_power as power;

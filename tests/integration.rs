@@ -124,13 +124,21 @@ fn hybrid_mode_switches_preserve_correctness() {
         let universe = if phase % 2 == 0 { 6 } else { 2_048 };
         for _ in 0..400 {
             let id = rng.below(universe);
-            let (v, done) =
-                hybrid.lookup(&mut sys, &mut engine, &table, &FlowKey::synthetic(id, 13), t);
+            let (v, done) = hybrid.lookup(
+                &mut sys,
+                &mut engine,
+                &table,
+                &FlowKey::synthetic(id, 13),
+                t,
+            );
             assert_eq!(v, Some(id + 7));
             t = done;
         }
     }
-    assert!(hybrid.switches() >= 2, "traffic phases should force switches");
+    assert!(
+        hybrid.switches() >= 2,
+        "traffic phases should force switches"
+    );
 }
 
 /// Tuple-space search agrees with the linear-scan oracle when driven
