@@ -375,6 +375,92 @@ mod tests {
         assert_eq!(HaloEngine::decode_nb(0), None);
     }
 
+    /// Edge words of the `LOOKUP_NB` destination encoding: the all-zeros
+    /// empty-slot/pending word, the all-ones miss sentinel, and values
+    /// with lock-bit-like high-bit patterns, which are plain data to the
+    /// decoder. Values up to `u64::MAX - 2` round-trip; `u64::MAX - 1`
+    /// and `u64::MAX` are reserved by the encoding (they would collide
+    /// with the miss and pending words).
+    #[test]
+    fn decode_nb_edge_words() {
+        // Empty-slot / pending encoding.
+        assert_eq!(HaloEngine::decode_nb(0), None);
+        // All-ones = the miss sentinel.
+        assert_eq!(HaloEngine::decode_nb(u64::MAX), Some(None));
+        assert_eq!(HaloEngine::decode_nb(NB_MISS), Some(None));
+        // Smallest and largest encodable hits.
+        assert_eq!(HaloEngine::decode_nb(1), Some(Some(0)));
+        assert_eq!(
+            HaloEngine::decode_nb(u64::MAX - 1),
+            Some(Some(u64::MAX - 2))
+        );
+        // High bits are value bits, not lock/status bits: words that look
+        // like a set lock bit decode as ordinary values.
+        assert_eq!(
+            HaloEngine::decode_nb(0x8000_0000_0000_0000),
+            Some(Some(0x7FFF_FFFF_FFFF_FFFF))
+        );
+        assert_eq!(
+            HaloEngine::decode_nb(0x8000_0000_0000_0001),
+            Some(Some(0x8000_0000_0000_0000))
+        );
+    }
+
+    /// Every encodable value pattern survives the lookup_nb -> dest word
+    /// -> decode_nb round trip, including all-ones-minus-reserved and
+    /// high-bit patterns.
+    #[test]
+    fn nb_dest_word_round_trips_value_patterns() {
+        let (mut sys, mut engine, mut table) = setup();
+        let dest = sys.data_mut().alloc_lines(64);
+        let key = FlowKey::synthetic(7_777, 13);
+        for (i, &v) in [
+            0u64,
+            1,
+            0x7FFF_FFFF_FFFF_FFFF,
+            0x8000_0000_0000_0000,
+            u64::MAX - 2, // largest encodable value
+        ]
+        .iter()
+        .enumerate()
+        {
+            table.insert(sys.data_mut(), &key, v).unwrap();
+            let h = engine.lookup_nb(
+                &mut sys,
+                CoreId(0),
+                &table,
+                &key,
+                None,
+                dest,
+                Cycle(i as u64 * 1_000),
+            );
+            assert_eq!(h.result, Some(v));
+            let word = sys.data_mut().read_u64(dest);
+            assert_eq!(HaloEngine::decode_nb(word), Some(Some(v)), "value {v:#x}");
+        }
+    }
+
+    /// `SNAPSHOT_READ` across the optimistic-lock version counter's
+    /// wraparound: the counter rolls from u64::MAX to 0 on the next
+    /// table write (no panic), and a reader snapshotting before/after
+    /// still observes a change.
+    #[test]
+    fn snapshot_read_version_counter_wraparound() {
+        let (mut sys, mut engine, mut table) = setup();
+        let vaddr = table.version_addr();
+        sys.data_mut().write_u64(vaddr, u64::MAX);
+        let (before, t0) = engine.snapshot_read(&mut sys, CoreId(0), vaddr, Cycle(0));
+        assert_eq!(before, u64::MAX);
+        table
+            .insert(sys.data_mut(), &FlowKey::synthetic(9_999, 13), 1)
+            .unwrap();
+        let (after, _) = engine.snapshot_read(&mut sys, CoreId(0), vaddr, t0);
+        assert_eq!(after, 0, "version counter must wrap to 0");
+        assert_ne!(before, after, "optimistic reader must see the change");
+        // Snapshotting the counter never pulls it into the core's L1.
+        assert!(!sys.in_l1(CoreId(0), vaddr));
+    }
+
     #[test]
     fn table_hash_policy_is_sticky_per_table() {
         let (mut sys, mut engine, table) = setup();

@@ -98,6 +98,26 @@ pub fn run_with(quick: bool, runner: &SweepRunner) -> Vec<Fig9Cell> {
     runner.run(points).into_iter().flatten().collect()
 }
 
+/// A tiny deterministic slice of the sweep (2^3..2^9 entries at 50%
+/// fill, 60 lookups each) for the tier-1 `SweepRunner` determinism
+/// guard: it exercises the same point/merge path as the full sweep but
+/// completes in well under a second, so it can be run at several job
+/// counts and compared byte-for-byte.
+#[must_use]
+pub fn run_small_slice(runner: &SweepRunner) -> Vec<Fig9Cell> {
+    let points: Vec<Fig9Point> = [1u64 << 3, 1 << 6, 1 << 9]
+        .iter()
+        .enumerate()
+        .map(|(i, &entries)| Fig9Point {
+            entries,
+            occupancy: 0.5,
+            lookups: 60,
+            seed: point_seed("fig9", i as u64),
+        })
+        .collect();
+    runner.run(points).into_iter().flatten().collect()
+}
+
 /// Runs the sweep with the default parallelism (`HALO_JOBS`, then host
 /// cores). `quick` restricts table sizes to <= 2^18 entries and fewer
 /// lookups (the full sweep reaches the paper's 2^24).

@@ -1,0 +1,345 @@
+//! The invariant auditor: non-perturbing walks over the simulated
+//! cache hierarchy and the table layout, asserting the structural
+//! properties the paper's design leans on. Every check returns
+//! [`Violation`]s instead of panicking so harnesses can fold audit
+//! results into shrinkable divergence messages.
+
+use halo_mem::{LineAddr, LineState, MemorySystem, SimMemory, SliceId};
+use halo_sim::Cycle;
+use halo_tables::{
+    bucket_pair, hash_key, signature, CuckooTable, ENTRIES_PER_BUCKET, SEED_PRIMARY,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One broken invariant found by an audit walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short stable name of the invariant (e.g. `"inclusion"`).
+    pub invariant: &'static str,
+    /// Human-readable specifics: which line/bucket/core and how.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+fn violation(invariant: &'static str, detail: String) -> Violation {
+    Violation { invariant, detail }
+}
+
+/// Audits the coherence-structural invariants of a [`MemorySystem`]:
+///
+/// * **placement** — every LLC-resident line sits in its home slice's
+///   array (static address interleaving, paper §3).
+/// * **inclusion** — every L1/L2-resident line is also LLC-resident
+///   (the inclusive-LLC model back-invalidation must maintain).
+/// * **directory** — every private-cache holder has its sharer bit set
+///   in the LLC directory. Sharer masks are conservatively stale (a
+///   clean private eviction does not notify the LLC), so the check is
+///   holders ⊆ sharers, never equality.
+/// * **single-owner** — at most one core holds a line Modified.
+/// * **lock-flag** — the per-line hardware lock bit agrees with the
+///   lock table: a resident line is flagged iff an in-flight
+///   accelerator op holds it.
+/// * **lock-orphan** — no lock-table entry survives its line's
+///   eviction ([`MemorySystem::force_evict`] and LLC replacement both
+///   clear it).
+/// * **lock-expired** — no lock is held past its release cycle; call
+///   [`MemorySystem::hw_unlock_expired`] with `now` before auditing.
+///
+/// The walk uses read-only iterators and perturbs no LRU or counter
+/// state, so it can run between every op of a harness.
+#[must_use]
+pub fn audit_system(sys: &MemorySystem, now: Cycle) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let cfg = sys.config();
+
+    // LLC pass: placement + a residency/directory/lock index for the
+    // private-cache pass (built once; everything after is O(1) probes).
+    let mut llc: HashMap<LineAddr, (usize, u64, bool)> = HashMap::new();
+    for s in 0..cfg.slices {
+        for m in sys.llc_slice_lines(SliceId(s)) {
+            let home = sys.home_slice(m.line);
+            if home.0 != s {
+                out.push(violation(
+                    "placement",
+                    format!(
+                        "line {:?} resident in slice {s}, homed on {}",
+                        m.line, home.0
+                    ),
+                ));
+            }
+            if let Some((prev, _, _)) = llc.insert(m.line, (s, m.sharers, m.locked)) {
+                out.push(violation(
+                    "placement",
+                    format!("line {:?} resident in slices {prev} and {s}", m.line),
+                ));
+            }
+        }
+    }
+
+    // Private-cache pass: inclusion, directory, single-owner.
+    let mut owner: HashMap<LineAddr, usize> = HashMap::new();
+    for c in 0..cfg.cores {
+        let core = halo_mem::CoreId(c);
+        let levels: [(&str, Box<dyn Iterator<Item = &halo_mem::LineMeta>>); 2] = [
+            ("L1", Box::new(sys.l1_lines(core))),
+            ("L2", Box::new(sys.l2_lines(core))),
+        ];
+        for (level, lines) in levels {
+            for m in lines {
+                match llc.get(&m.line) {
+                    None => out.push(violation(
+                        "inclusion",
+                        format!("core {c} {level} holds {:?} absent from the LLC", m.line),
+                    )),
+                    Some(&(_, sharers, _)) => {
+                        if sharers & (1 << c) == 0 {
+                            out.push(violation(
+                                "directory",
+                                format!(
+                                    "core {c} {level} holds {:?} without its sharer bit",
+                                    m.line
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if m.state == LineState::Modified {
+                    if let Some(&prev) = owner.get(&m.line) {
+                        if prev != c {
+                            out.push(violation(
+                                "single-owner",
+                                format!("line {:?} Modified in cores {prev} and {c}", m.line),
+                            ));
+                        }
+                    } else {
+                        owner.insert(m.line, c);
+                    }
+                }
+            }
+        }
+    }
+
+    // Lock pass: flags vs the lock table, orphans, and expiry.
+    let locks: HashMap<LineAddr, Cycle> = sys.held_locks().collect();
+    for (&line, &(slice, _, flagged)) in &llc {
+        if flagged != locks.contains_key(&line) {
+            out.push(violation(
+                "lock-flag",
+                format!(
+                    "line {line:?} in slice {slice}: lock bit {flagged}, lock table {}",
+                    locks.contains_key(&line)
+                ),
+            ));
+        }
+    }
+    for (&line, &release) in &locks {
+        if !llc.contains_key(&line) {
+            out.push(violation(
+                "lock-orphan",
+                format!("lock on {line:?} outlived the line's LLC residency"),
+            ));
+        }
+        if release <= now {
+            out.push(violation(
+                "lock-expired",
+                format!("lock on {line:?} expired at {release:?}, now {now:?}"),
+            ));
+        }
+    }
+    out
+}
+
+/// Audits a [`CuckooTable`]'s layout against its bookkeeping:
+///
+/// * **signature** — every live entry's stored signature matches its
+///   key (and is never the reserved empty marker `0`).
+/// * **bucket** — every live entry sits in one of its key's two
+///   candidate buckets.
+/// * **kv-aliased** — no two bucket entries reference the same
+///   key-value slot, except the single transient duplicate a two-phase
+///   [`cuckoo_move_begin`](CuckooTable::cuckoo_move_begin) holds.
+/// * **live-count** — live bucket entries equal `len()` plus in-flight
+///   moves, and `len() + free_slots() == capacity()`.
+#[must_use]
+pub fn audit_cuckoo(table: &CuckooTable, mem: &mut SimMemory) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let meta = table.meta();
+    let mut live = 0usize;
+    let mut slot_refs: HashMap<u32, u32> = HashMap::new();
+    for b in 0..meta.buckets {
+        for e in 0..ENTRIES_PER_BUCKET {
+            let (sig, idx) = meta.read_entry(mem, b, e);
+            if sig == 0 {
+                continue;
+            }
+            live += 1;
+            *slot_refs.entry(idx).or_insert(0) += 1;
+            let key = meta.read_kv_key(mem, idx);
+            let want = signature(hash_key(&key, SEED_PRIMARY));
+            if sig != want {
+                out.push(violation(
+                    "signature",
+                    format!("bucket {b} entry {e}: stored sig {sig:#x}, key hashes to {want:#x}"),
+                ));
+            }
+            let (b1, b2) = bucket_pair(&key, meta.buckets);
+            if b != b1 && b != b2 {
+                out.push(violation(
+                    "bucket",
+                    format!("entry for key in bucket {b}, candidates are {b1}/{b2}"),
+                ));
+            }
+        }
+    }
+    let aliased = slot_refs.values().filter(|&&n| n > 1).count();
+    if aliased > table.moves_in_flight() {
+        out.push(violation(
+            "kv-aliased",
+            format!(
+                "{aliased} kv slots multiply referenced, only {} moves in flight",
+                table.moves_in_flight()
+            ),
+        ));
+    }
+    if live != table.len() + table.moves_in_flight() {
+        out.push(violation(
+            "live-count",
+            format!(
+                "{live} live entries, len {} + {} in-flight moves",
+                table.len(),
+                table.moves_in_flight()
+            ),
+        ));
+    }
+    if table.len() + table.free_slots() != table.capacity() {
+        out.push(violation(
+            "live-count",
+            format!(
+                "len {} + free {} != capacity {}",
+                table.len(),
+                table.free_slots(),
+                table.capacity()
+            ),
+        ));
+    }
+    out
+}
+
+/// Audits that every line of `table` the LLC currently holds sits on
+/// the CHA slice the address-interleaving promises — the property HALO
+/// leans on to co-locate each accelerator with its slice's share of the
+/// table (paper §3.2).
+#[must_use]
+pub fn audit_table_placement(table: &CuckooTable, sys: &MemorySystem) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut resident: HashMap<LineAddr, usize> = HashMap::new();
+    for s in 0..sys.config().slices {
+        for m in sys.llc_slice_lines(SliceId(s)) {
+            resident.insert(m.line, s);
+        }
+    }
+    for addr in table.all_lines() {
+        let line = addr.line();
+        if let Some(&s) = resident.get(&line) {
+            let home = sys.home_slice(line);
+            if home.0 != s {
+                out.push(violation(
+                    "placement",
+                    format!(
+                        "table line {line:?} cached in slice {s}, promised to CHA {}",
+                        home.0
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_mem::{AccessKind, Addr, CoreId, MachineConfig};
+    use halo_sim::Cycles;
+    use halo_tables::FlowKey;
+
+    #[test]
+    fn healthy_system_audits_clean() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let mut now = Cycle(0);
+        for i in 0..64u64 {
+            let core = CoreId((i % 4) as usize);
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let out = sys.access(core, Addr(i * 64), kind, now);
+            now = out.complete + Cycles(1);
+        }
+        assert_eq!(audit_system(&sys, now), vec![]);
+    }
+
+    #[test]
+    fn expired_lock_is_flagged_until_pruned() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let out = sys.access(CoreId(0), Addr(0x40), AccessKind::Load, Cycle(0));
+        sys.hw_lock(Addr(0x40).line(), out.complete + Cycles(10));
+        assert_eq!(audit_system(&sys, out.complete), vec![]);
+        let later = out.complete + Cycles(100);
+        let found = audit_system(&sys, later);
+        assert!(
+            found.iter().any(|v| v.invariant == "lock-expired"),
+            "missed expiry: {found:?}"
+        );
+        sys.hw_unlock_expired(later);
+        assert_eq!(audit_system(&sys, later), vec![]);
+    }
+
+    #[test]
+    fn cuckoo_audit_accepts_real_table_and_in_flight_move() {
+        let mut mem = SimMemory::new();
+        let mut t = CuckooTable::create(&mut mem, 1 << 6, 13);
+        for i in 0..100u64 {
+            t.insert(&mut mem, &FlowKey::synthetic(i, 13), i).unwrap();
+        }
+        assert_eq!(audit_cuckoo(&t, &mut mem), vec![]);
+        let mv = t
+            .cuckoo_move_begin(&mut mem, &FlowKey::synthetic(42, 13))
+            .expect("movable key");
+        assert_eq!(audit_cuckoo(&t, &mut mem), vec![], "transient dup allowed");
+        t.cuckoo_move_commit(&mut mem, mv);
+        assert_eq!(audit_cuckoo(&t, &mut mem), vec![]);
+    }
+
+    #[test]
+    fn corrupted_signature_is_caught() {
+        let mut mem = SimMemory::new();
+        let mut t = CuckooTable::create(&mut mem, 1 << 6, 13);
+        t.insert(&mut mem, &FlowKey::synthetic(5, 13), 5).unwrap();
+        'corrupt: for b in 0..t.meta().buckets {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (sig, idx) = t.meta().read_entry(&mut mem, b, e);
+                if sig != 0 {
+                    t.meta().write_entry(&mut mem, b, e, sig ^ 0x5555, idx);
+                    break 'corrupt;
+                }
+            }
+        }
+        let found = audit_cuckoo(&t, &mut mem);
+        assert!(
+            found.iter().any(|v| v.invariant == "signature"),
+            "missed corruption: {found:?}"
+        );
+    }
+}

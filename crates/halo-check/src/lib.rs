@@ -1,0 +1,67 @@
+//! # halo-check
+//!
+//! Correctness tooling for the HALO reproduction. gem5 gave the paper's
+//! authors a correct memory system for free; this simulator must prove
+//! its own, so `halo-check` supplies three layers:
+//!
+//! * **Differential oracle** ([`oracle`], [`run_differential`]) — a
+//!   trivially-correct reference map driven by the same SplitMix64-seeded
+//!   op stream as [`CuckooTable`](halo_tables::CuckooTable),
+//!   [`SfhTable`](halo_tables::SfhTable),
+//!   [`KvStore`](halo_kvstore::KvStore),
+//!   [`TcamTable`](halo_tcam::TcamTable), and
+//!   [`HaloEngine`](halo_accel::HaloEngine) (whose `lookup_b` /
+//!   `lookup_nb` / `snapshot_read` paths must all agree with plain
+//!   software lookup and the oracle after every op). Failing sequences
+//!   are automatically shrunk to a minimal replayable trace printed as a
+//!   seed plus an op list ([`MinimalTrace`]).
+//! * **Invariant auditor** ([`audit_system`], [`audit_cuckoo`],
+//!   [`audit_table_placement`]) — walks
+//!   [`MemorySystem`](halo_mem::MemorySystem)/cache state and the table
+//!   layout, asserting the structural invariants the paper assumes:
+//!   L1/L2/LLC inclusion, directory agreement, at most one owner per
+//!   line, lock bits only on lines an in-flight accelerator op holds,
+//!   cuckoo length/occupancy consistent with live entries, and every
+//!   table line homed on the CHA slice the layout promises. Per-op
+//!   auditing inside the harnesses sits behind the cheap `audit` cargo
+//!   feature (or the `HALO_AUDIT` environment variable).
+//! * **Fault injector** ([`run_fault_injection`]) — from a seeded
+//!   schedule, forces adversarial evictions, accelerator-queue stalls,
+//!   and mid-displacement cuckoo-move preemptions, then checks the
+//!   oracle still agrees and the auditor finds zero violations — turning
+//!   "atomicity via lock bit" from an asserted property into a tested
+//!   one.
+//!
+//! # Examples
+//!
+//! ```
+//! use halo_check::{cuckoo_driver, run_differential};
+//!
+//! run_differential("doc.cuckoo", 2, 60, 256, |ops| cuckoo_driver(ops))
+//!     .expect("cuckoo agrees with the oracle");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod audit;
+mod fault;
+mod oracle;
+mod shrink;
+
+pub use audit::{audit_cuckoo, audit_system, audit_table_placement, Violation};
+pub use fault::{run_fault_injection, FaultConfig, FaultReport};
+pub use oracle::{
+    buggy_cuckoo_driver, cuckoo_driver, engine_driver, gen_ops, kvstore_driver, sfh_driver,
+    tcam_driver, Op, KEY_LEN,
+};
+pub use shrink::{run_differential, shrink_ops, MinimalTrace};
+
+/// Whether per-op invariant auditing is active inside the harnesses:
+/// compiled in with the `audit` cargo feature, or switched on at runtime
+/// via a non-`0` `HALO_AUDIT` environment variable. Final-state audits
+/// run unconditionally.
+#[must_use]
+pub fn audit_enabled() -> bool {
+    cfg!(feature = "audit") || std::env::var_os("HALO_AUDIT").is_some_and(|v| v != "0")
+}

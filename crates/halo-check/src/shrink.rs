@@ -1,0 +1,155 @@
+//! Automatic shrinking of failing op sequences.
+//!
+//! When a driver reports a divergence, the raw generated sequence is
+//! typically hundreds of ops of which only a handful matter. A
+//! ddmin-style pass removes chunks (halving the chunk size down to
+//! single ops) while the failure persists, producing a minimal trace
+//! that replays deterministically and prints as a seed plus op list.
+
+use crate::oracle::{gen_ops, Op};
+use halo_sim::{point_seed, SplitMix64};
+use std::fmt;
+
+/// A shrunken, replayable counterexample from [`run_differential`].
+#[derive(Debug, Clone)]
+pub struct MinimalTrace {
+    /// The SplitMix64 seed whose generated stream first failed (from
+    /// [`point_seed`] over the suite name and case index).
+    pub seed: u64,
+    /// The minimal op subsequence that still reproduces the failure.
+    pub ops: Vec<Op>,
+    /// The driver's divergence message on the minimal sequence.
+    pub error: String,
+}
+
+impl fmt::Display for MinimalTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential failure (seed {:#x}), minimal {}-op trace:",
+            self.seed,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "    {op}")?;
+        }
+        write!(f, "error: {}", self.error)
+    }
+}
+
+/// Shrinks `ops` to a (locally) minimal subsequence on which `fails`
+/// still returns a divergence, using ddmin-style chunk removal: try
+/// deleting chunks of half the current length, halving the chunk size
+/// on each full pass until single-op removal reaches a fixpoint.
+/// Returns the minimal ops and the error they produce.
+///
+/// `fails` must be deterministic (every driver rebuilds its state from
+/// scratch); it is called O(n log n) times for an n-op sequence.
+///
+/// # Panics
+///
+/// Panics if `fails(ops)` does not fail to begin with.
+pub fn shrink_ops(ops: &[Op], mut fails: impl FnMut(&[Op]) -> Option<String>) -> (Vec<Op>, String) {
+    let mut cur = ops.to_vec();
+    let mut err = fails(&cur).expect("shrink_ops needs a failing sequence");
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = Vec::with_capacity(cur.len().saturating_sub(chunk));
+            candidate.extend_from_slice(&cur[..i]);
+            candidate.extend_from_slice(&cur[(i + chunk).min(cur.len())..]);
+            if let Some(e) = fails(&candidate) {
+                cur = candidate;
+                err = e;
+                // Do not advance: the next chunk slid into position i.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    (cur, err)
+}
+
+/// Runs `cases` differential cases of `ops_per_case` generated ops over
+/// a `key_space`-sized key universe against `driver`, seeding case `i`
+/// with `point_seed(name, i)`. On the first divergence the sequence is
+/// shrunk and returned as a [`MinimalTrace`]; reproducing it later only
+/// needs the printed seed (regenerate with [`SplitMix64::new`] +
+/// [`gen_ops`] and the same parameters) or the printed op list replayed
+/// straight through the driver.
+///
+/// # Errors
+///
+/// Returns the shrunken counterexample if any case diverges.
+pub fn run_differential(
+    name: &str,
+    cases: u64,
+    ops_per_case: usize,
+    key_space: u16,
+    mut driver: impl FnMut(&[Op]) -> Option<String>,
+) -> Result<(), MinimalTrace> {
+    for i in 0..cases {
+        let seed = point_seed(name, i);
+        let ops = gen_ops(&mut SplitMix64::new(seed), ops_per_case, key_space);
+        if driver(&ops).is_some() {
+            let (min_ops, error) = shrink_ops(&ops, &mut driver);
+            return Err(MinimalTrace {
+                seed,
+                ops: min_ops,
+                error,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic bug: fails whenever the sequence contains
+    /// `Remove(7)` after `Insert(7, _)` — minimal trace is exactly two
+    /// ops regardless of how much noise surrounds them.
+    fn synthetic(ops: &[Op]) -> Option<String> {
+        let mut inserted = false;
+        for op in ops {
+            match op {
+                Op::Insert(7, _) => inserted = true,
+                Op::Remove(7) if inserted => return Some("leaked slot".into()),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn shrinks_to_the_two_relevant_ops() {
+        let mut rng = SplitMix64::new(point_seed("shrink.test", 0));
+        let mut ops = gen_ops(&mut rng, 200, 16);
+        ops.insert(50, Op::Insert(7, 1));
+        ops.insert(150, Op::Remove(7));
+        let (min_ops, err) = shrink_ops(&ops, synthetic);
+        assert_eq!(min_ops, vec![Op::Insert(7, 1), Op::Remove(7)]);
+        assert_eq!(err, "leaked slot");
+    }
+
+    #[test]
+    fn passing_suite_returns_ok() {
+        run_differential("shrink.pass", 3, 50, 32, |_| None).unwrap();
+    }
+
+    #[test]
+    fn trace_prints_seed_and_ops() {
+        let err = run_differential("shrink.fail", 20, 60, 8, synthetic)
+            .expect_err("synthetic bug with key space 8 should trip quickly");
+        let text = err.to_string();
+        assert!(text.contains("seed 0x"), "missing seed: {text}");
+        assert!(text.contains("error: leaked slot"), "missing error: {text}");
+        assert!(err.ops.len() <= 2, "not minimal: {err}");
+    }
+}

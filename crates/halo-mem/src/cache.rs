@@ -205,6 +205,12 @@ impl CacheArray {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Iterates over every resident line's metadata without perturbing
+    /// LRU state or hit/miss counters (for invariant audits).
+    pub fn iter_lines(&self) -> impl Iterator<Item = &LineMeta> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
     /// Total capacity in lines.
     #[must_use]
     pub fn capacity_lines(&self) -> usize {

@@ -543,6 +543,50 @@ impl MemorySystem {
     }
 
     // ------------------------------------------------------------------
+    // Audit and fault-injection hooks (halo-check)
+    // ------------------------------------------------------------------
+
+    /// Lines resident in `core`'s L1D (audit walk; no side effects).
+    pub fn l1_lines(&self, core: CoreId) -> impl Iterator<Item = &crate::cache::LineMeta> + '_ {
+        self.l1d[core.0].iter_lines()
+    }
+
+    /// Lines resident in `core`'s L2 (audit walk; no side effects).
+    pub fn l2_lines(&self, core: CoreId) -> impl Iterator<Item = &crate::cache::LineMeta> + '_ {
+        self.l2[core.0].iter_lines()
+    }
+
+    /// Lines resident in one LLC slice (audit walk; no side effects).
+    pub fn llc_slice_lines(
+        &self,
+        slice: SliceId,
+    ) -> impl Iterator<Item = &crate::cache::LineMeta> + '_ {
+        self.llc[slice.0].iter_lines()
+    }
+
+    /// Currently held hardware locks as `(line, release cycle)` pairs.
+    pub fn held_locks(&self) -> impl Iterator<Item = (LineAddr, Cycle)> + '_ {
+        self.locks.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// Forcibly evicts the line containing `addr` from the LLC and every
+    /// private cache, releasing any hardware lock on it — the
+    /// adversarial-eviction hook used by the `halo-check` fault injector.
+    /// Bookkeeping matches a natural capacity eviction (back-invalidation
+    /// plus lock release); data in [`SimMemory`] is untouched.
+    pub fn force_evict(&mut self, addr: Addr) {
+        let line = addr.line();
+        for c in 0..self.cfg.cores {
+            self.l1d[c].invalidate(line);
+            self.l2[c].invalidate(line);
+        }
+        let slice = self.home_slice(line);
+        self.llc[slice.0].invalidate(line);
+        self.locks.remove(&line);
+        self.stats.bump("fault.force_evict");
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -1040,6 +1084,41 @@ mod tests {
         for &c in &counts {
             assert!(c > 512 && c < 1536, "imbalanced slice hash: {c}");
         }
+    }
+
+    #[test]
+    fn force_evict_clears_all_levels_and_locks() {
+        let mut s = sys();
+        let a = s.data_mut().alloc_lines(64);
+        s.data_mut().write_u64(a, 0xDEAD);
+        s.access(CoreId(0), a, AccessKind::Load, Cycle(0));
+        s.hw_lock(a.line(), Cycle(1_000_000));
+        assert!(s.in_l1(CoreId(0), a) && s.in_llc(a));
+        s.force_evict(a);
+        assert!(!s.in_l1(CoreId(0), a), "private copy must go");
+        assert!(!s.in_llc(a), "LLC copy must go");
+        assert!(s.lock_release(a.line()).is_none(), "lock must release");
+        assert_eq!(s.held_locks().count(), 0);
+        // Data survives: the next access refills from DRAM.
+        assert_eq!(s.data_mut().read_u64(a), 0xDEAD);
+        let r = s.access(CoreId(0), a, AccessKind::Load, Cycle(0));
+        assert_eq!(r.level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn audit_walks_see_resident_lines() {
+        let mut s = sys();
+        let a = s.data_mut().alloc_lines(64);
+        s.access(CoreId(2), a, AccessKind::Store, Cycle(0));
+        let line = a.line();
+        assert!(s.l1_lines(CoreId(2)).any(|m| m.line == line));
+        assert!(s.l2_lines(CoreId(2)).any(|m| m.line == line));
+        let home = s.home_slice(line);
+        assert!(s.llc_slice_lines(home).any(|m| m.line == line));
+        // The walk is side-effect free: counters unchanged.
+        let (h, m) = s.l1_hit_miss(CoreId(2));
+        let _ = s.l1_lines(CoreId(2)).count();
+        assert_eq!((h, m), s.l1_hit_miss(CoreId(2)));
     }
 
     #[test]

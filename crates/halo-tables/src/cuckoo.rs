@@ -29,6 +29,24 @@ impl fmt::Display for TableFullError {
 
 impl std::error::Error for TableFullError {}
 
+/// A cuckoo relocation caught between its two bucket writes: the entry
+/// has been *copied* into the alternative bucket but not yet cleared
+/// from the source (the duplicate-then-delete ordering of Fig. 7, which
+/// keeps the key findable at every instant). Obtained from
+/// [`CuckooTable::cuckoo_move_begin`]; finish with
+/// [`CuckooTable::cuckoo_move_commit`] or roll back with
+/// [`CuckooTable::cuckoo_move_abort`].
+///
+/// While a move is pending only lookups may run against the table —
+/// writers must be held off, exactly the exclusion the HALO hardware
+/// lock bit provides (§4.4).
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a pending move must be committed or aborted"]
+pub struct PendingMove {
+    src: (u64, usize),
+    dst: (u64, usize),
+}
+
 /// A cuckoo hash table handle.
 ///
 /// The table's bytes live in a [`SimMemory`]; this handle holds the
@@ -55,6 +73,7 @@ pub struct CuckooTable {
     version_addr: Addr,
     free: Vec<u32>,
     len: usize,
+    moves_in_flight: usize,
 }
 
 impl CuckooTable {
@@ -78,6 +97,7 @@ impl CuckooTable {
             version_addr,
             free,
             len: 0,
+            moves_in_flight: 0,
         }
     }
 
@@ -148,6 +168,21 @@ impl CuckooTable {
     #[must_use]
     pub fn footprint(&self) -> u64 {
         self.meta.footprint()
+    }
+
+    /// Number of unclaimed key-value slots (`len + free_slots ==
+    /// capacity` is an audited invariant).
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Two-phase cuckoo moves currently between `begin` and
+    /// `commit`/`abort`; each one leaves a sanctioned duplicate bucket
+    /// entry that the auditor accounts for.
+    #[must_use]
+    pub fn moves_in_flight(&self) -> usize {
+        self.moves_in_flight
     }
 
     fn check_key(&self, key: &FlowKey) {
@@ -294,8 +329,11 @@ impl CuckooTable {
     }
 
     fn bump_version(&self, mem: &mut SimMemory) {
+        // Wrapping: optimistic-lock readers compare for *change*, not
+        // order, so rolling over from u64::MAX to 0 is correct (and must
+        // not panic in debug builds).
         let v = mem.read_u64(self.version_addr);
-        mem.write_u64(self.version_addr, v + 1);
+        mem.write_u64(self.version_addr, v.wrapping_add(1));
     }
 
     /// Functional lookup.
@@ -400,6 +438,58 @@ impl CuckooTable {
             }
         }
         false
+    }
+
+    /// Starts a two-phase cuckoo move: *copies* `key`'s bucket entry to a
+    /// free slot of its alternative bucket without clearing the source,
+    /// so a preempted mover leaves the key findable through either entry
+    /// (both reference the same key-value slot). Returns `None` if the
+    /// key is absent or the alternative bucket is full.
+    ///
+    /// The returned [`PendingMove`] must be passed to
+    /// [`cuckoo_move_commit`](Self::cuckoo_move_commit) or
+    /// [`cuckoo_move_abort`](Self::cuckoo_move_abort); until then only
+    /// lookups may run against the table (the hardware lock bit is what
+    /// enforces this exclusion on real HALO).
+    pub fn cuckoo_move_begin(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<PendingMove> {
+        self.check_key(key);
+        let (b1, b2) = bucket_pair(key, self.meta.buckets);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        for (b, alt) in [(b1, b2), (b2, b1)] {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, idx) = self.meta.read_entry(mem, b, e);
+                if s == sig && self.meta.read_kv_key(mem, idx) == *key {
+                    for ae in 0..ENTRIES_PER_BUCKET {
+                        let (as_, _) = self.meta.read_entry(mem, alt, ae);
+                        if as_ == 0 {
+                            self.meta.write_entry(mem, alt, ae, s, idx);
+                            self.moves_in_flight += 1;
+                            return Some(PendingMove {
+                                src: (b, e),
+                                dst: (alt, ae),
+                            });
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Completes a two-phase move: clears the source entry, leaving only
+    /// the relocated copy.
+    pub fn cuckoo_move_commit(&mut self, mem: &mut SimMemory, mv: PendingMove) {
+        self.meta.clear_entry(mem, mv.src.0, mv.src.1);
+        self.bump_version(mem);
+        self.moves_in_flight -= 1;
+    }
+
+    /// Rolls a two-phase move back: clears the destination copy, leaving
+    /// the entry where it started.
+    pub fn cuckoo_move_abort(&mut self, mem: &mut SimMemory, mv: PendingMove) {
+        self.meta.clear_entry(mem, mv.dst.0, mv.dst.1);
+        self.moves_in_flight -= 1;
     }
 
     /// All addresses of lines an ideal prefetcher would warm for this
@@ -543,6 +633,75 @@ mod tests {
         // Still findable after relocation.
         assert_eq!(t.lookup(&mut mem, &k), Some(7));
         // And can be moved back.
+        assert!(t.cuckoo_move(&mut mem, &k));
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+    }
+
+    /// Regression: remove followed by re-insert of the same key must
+    /// round-trip `len()`/`occupancy()` exactly — no slot leak through
+    /// the free list or the length bookkeeping.
+    #[test]
+    fn remove_reinsert_round_trips_len_and_occupancy() {
+        let (mut mem, mut t) = setup(64);
+        for id in 0..100u64 {
+            t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).unwrap();
+        }
+        let (len0, occ0, free0) = (t.len(), t.occupancy(), t.free_slots());
+        for _ in 0..3 {
+            for id in 0..100u64 {
+                let k = FlowKey::synthetic(id, 13);
+                assert_eq!(t.remove(&mut mem, &k), Some(id));
+                t.insert(&mut mem, &k, id).unwrap();
+            }
+        }
+        assert_eq!(t.len(), len0, "len leaked across remove/re-insert");
+        assert_eq!(t.occupancy(), occ0, "occupancy leaked");
+        assert_eq!(t.free_slots(), free0, "free list leaked");
+        assert_eq!(t.len() + t.free_slots(), t.capacity());
+        for id in 0..100u64 {
+            assert_eq!(t.lookup(&mut mem, &FlowKey::synthetic(id, 13)), Some(id));
+        }
+    }
+
+    /// The optimistic-lock version counter wraps at u64::MAX instead of
+    /// panicking (readers compare for change, not order).
+    #[test]
+    fn version_counter_wraps_at_max() {
+        let (mut mem, mut t) = setup(64);
+        mem.write_u64(t.version_addr(), u64::MAX);
+        t.insert(&mut mem, &FlowKey::synthetic(1, 13), 1).unwrap();
+        assert_eq!(mem.read_u64(t.version_addr()), 0, "version must wrap");
+        // Writes keep bumping past the wrap.
+        t.remove(&mut mem, &FlowKey::synthetic(1, 13)).unwrap();
+        assert_eq!(mem.read_u64(t.version_addr()), 1);
+    }
+
+    #[test]
+    fn two_phase_move_keeps_key_findable_throughout() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        t.insert(&mut mem, &k, 7).unwrap();
+        let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
+        // Mid-move: duplicate entry pending, key still resolves.
+        assert_eq!(t.moves_in_flight(), 1);
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        t.cuckoo_move_commit(&mut mem, mv);
+        assert_eq!(t.moves_in_flight(), 0);
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn two_phase_move_abort_restores_original_placement() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        t.insert(&mut mem, &k, 7).unwrap();
+        let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
+        t.cuckoo_move_abort(&mut mem, mv);
+        assert_eq!(t.moves_in_flight(), 0);
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.len(), 1);
+        // A full one-shot move still works afterwards.
         assert!(t.cuckoo_move(&mut mem, &k));
         assert_eq!(t.lookup(&mut mem, &k), Some(7));
     }

@@ -37,7 +37,7 @@ mod layout;
 mod sfh;
 mod trace;
 
-pub use cuckoo::{CuckooTable, TableFullError};
+pub use cuckoo::{CuckooTable, PendingMove, TableFullError};
 pub use hash::{bucket_pair, hash_key, signature, SEED_PRIMARY, SEED_SECONDARY};
 pub use key::{FlowKey, MAX_KEY_LEN};
 pub use layout::{allocate_table, TableMeta, ENTRIES_PER_BUCKET};

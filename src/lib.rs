@@ -29,6 +29,9 @@
 //! * [`nf`] — network-function workload models and the IXIA-like
 //!   traffic generator.
 //! * [`power`] — analytical power/area models (Table 4).
+//! * [`check`] — correctness tooling: the differential oracle with
+//!   automatic trace shrinking, the cache/table invariant auditor, and
+//!   the fault-injection harness (see DESIGN.md §8).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use halo_accel as accel;
+pub use halo_check as check;
 pub use halo_classify as classify;
 pub use halo_cpu as cpu;
 pub use halo_kvstore as kvstore;

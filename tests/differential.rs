@@ -1,0 +1,159 @@
+//! Tier-1 differential suite: every lookup structure (and the full
+//! accelerator engine stack) replays SplitMix64-seeded op streams
+//! against a trivially-correct model map; any divergence is shrunk to
+//! a minimal trace and printed as seed + op list (see DESIGN.md §8 for
+//! how to reproduce one). `--features slow-tests` scales the case
+//! counts up; `--features audit` (or `HALO_AUDIT=1`) additionally runs
+//! the invariant auditor after every op.
+
+use halo_nfv::check::{
+    buggy_cuckoo_driver, cuckoo_driver, engine_driver, kvstore_driver, run_differential,
+    run_fault_injection, sfh_driver, tcam_driver, FaultConfig,
+};
+use halo_nfv::sim::point_seed;
+
+const CASES: u64 = if cfg!(feature = "slow-tests") { 48 } else { 8 };
+const OPS: usize = if cfg!(feature = "slow-tests") {
+    600
+} else {
+    150
+};
+
+#[test]
+fn cuckoo_agrees_with_oracle() {
+    run_differential("differential.cuckoo", CASES, OPS, 2048, |ops| {
+        cuckoo_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+#[test]
+fn sfh_agrees_with_oracle() {
+    run_differential("differential.sfh", CASES, OPS, 2048, sfh_driver)
+        .unwrap_or_else(|t| panic!("{t}"));
+}
+
+#[test]
+fn kvstore_agrees_with_oracle() {
+    run_differential("differential.kvstore", CASES, OPS, 1024, |ops| {
+        kvstore_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+#[test]
+fn tcam_agrees_with_oracle() {
+    run_differential("differential.tcam", CASES, OPS, 1024, |ops| {
+        tcam_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+/// The heavyweight target: every op checked through software lookup,
+/// `LOOKUP_B`, `LOOKUP_NB`, and `SNAPSHOT_READ` simultaneously, so it
+/// runs fewer, shorter cases than the table-only drivers.
+#[test]
+fn engine_agrees_with_oracle_on_all_lookup_paths() {
+    let cases = if cfg!(feature = "slow-tests") { 12 } else { 4 };
+    let ops = if cfg!(feature = "slow-tests") {
+        250
+    } else {
+        100
+    };
+    run_differential("differential.engine", cases, ops, 1024, |ops| {
+        engine_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+/// The ISSUE's acceptance scenario: a seeded schedule of adversarial
+/// evictions, scoreboard-flooding bursts, and mid-displacement move
+/// preemptions keeps agreeing with the oracle, provably exercises each
+/// fault class, and leaves zero auditor violations behind.
+#[test]
+fn fault_injection_passes_auditor() {
+    let seeds = if cfg!(feature = "slow-tests") { 6 } else { 2 };
+    for s in 0..seeds {
+        let cfg = FaultConfig {
+            seed: point_seed("differential.fault", s),
+            ..FaultConfig::default()
+        };
+        let report =
+            run_fault_injection(&cfg).unwrap_or_else(|e| panic!("seed {:#x}: {e}", cfg.seed));
+        assert!(report.forced_evictions > 0, "no evictions injected");
+        assert!(report.stall_bursts > 0, "no stall bursts injected");
+        assert!(
+            report.scoreboard_stalls > 0,
+            "bursts never stalled the scoreboard"
+        );
+        assert!(
+            report.preempted_moves > 0,
+            "no mid-move preemptions injected"
+        );
+        assert_eq!(
+            report.violations,
+            vec![],
+            "auditor violations under seed {:#x}",
+            cfg.seed
+        );
+    }
+}
+
+/// Parallelism must never change results: the same fig9 slice run at
+/// one and four jobs produces byte-identical rows (ordered merge in
+/// `SweepRunner`), both as raw cells and as the rendered table.
+#[test]
+fn fig9_small_slice_is_jobs_invariant() {
+    use halo_bench::experiments::fig9;
+    use halo_nfv::sim::SweepRunner;
+
+    let a = fig9::run_small_slice(&SweepRunner::new("fig9-det-1", 1).quiet());
+    let b = fig9::run_small_slice(&SweepRunner::new("fig9-det-4", 4).quiet());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.entries, y.entries);
+        assert_eq!(x.occupancy.to_bits(), y.occupancy.to_bits());
+        assert_eq!(x.approach, y.approach);
+        assert_eq!(
+            x.throughput.to_bits(),
+            y.throughput.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+        assert_eq!(
+            x.normalized.to_bits(),
+            y.normalized.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+    }
+    assert_eq!(fig9::table(&a).to_string(), fig9::table(&b).to_string());
+}
+
+/// Mutation smoke check: a deliberately broken cuckoo remove (clears
+/// the bucket entry but leaks the slot and the length) must be caught
+/// by the oracle and shrunk to a tiny replayable trace.
+#[test]
+fn mutation_is_caught_and_shrunk() {
+    let trace = run_differential("differential.mutation", 4, 60, 64, |ops| {
+        buggy_cuckoo_driver(ops)
+    })
+    .expect_err("the seeded bug must be caught");
+    assert!(
+        trace.ops.len() <= 20,
+        "trace not minimal ({} ops):\n{trace}",
+        trace.ops.len()
+    );
+    assert!(
+        buggy_cuckoo_driver(&trace.ops).is_some(),
+        "minimal trace must replay the failure"
+    );
+    assert_eq!(
+        cuckoo_driver(&trace.ops),
+        None,
+        "the real table must pass the minimal trace"
+    );
+    let printed = trace.to_string();
+    assert!(
+        printed.contains("seed 0x"),
+        "trace must print its seed: {printed}"
+    );
+}
