@@ -5,7 +5,7 @@
 use crate::accel::{AcceleratorConfig, HaloAccelerator, QueryOutcome};
 use crate::flowreg::FlowRegister;
 use halo_mem::{Addr, CoreId, MemorySystem, SliceId};
-use halo_sim::{Cycle, Cycles, Stats};
+use halo_sim::{Cycle, Cycles, StatId, Stats};
 use halo_tables::{hash_key, LookupTrace, SEED_PRIMARY};
 
 /// How the query distributor picks an accelerator (§4.3 "query
@@ -77,6 +77,30 @@ pub struct HaloEngine {
     rr_next: usize,
     hop_latency: Cycles,
     stats: Stats,
+    ids: EngineStatIds,
+}
+
+/// Pre-registered [`StatId`] handles for the engine's counters. The
+/// per-slice dispatch counters live in a dense vector indexed by slice,
+/// so the dispatch hot path neither formats a key string nor walks the
+/// name registry.
+#[derive(Debug)]
+struct EngineStatIds {
+    queries: StatId,
+    snapshot_read: StatId,
+    dispatch_slice: Vec<StatId>,
+}
+
+impl EngineStatIds {
+    fn register(stats: &mut Stats, slices: usize) -> Self {
+        EngineStatIds {
+            queries: stats.counter_id("engine.queries"),
+            snapshot_read: stats.counter_id("engine.snapshot_read"),
+            dispatch_slice: (0..slices)
+                .map(|s| stats.counter_id(&format!("engine.dispatch.slice{s}")))
+                .collect(),
+        }
+    }
 }
 
 impl HaloEngine {
@@ -84,6 +108,8 @@ impl HaloEngine {
     #[must_use]
     pub fn new(sys: &MemorySystem, cfg: AcceleratorConfig) -> Self {
         let slices = sys.config().slices;
+        let mut stats = Stats::new();
+        let ids = EngineStatIds::register(&mut stats, slices);
         HaloEngine {
             accels: (0..slices)
                 .map(|i| HaloAccelerator::new(SliceId(i), cfg.clone()))
@@ -92,7 +118,8 @@ impl HaloEngine {
             policy: DispatchPolicy::TableHash,
             rr_next: 0,
             hop_latency: sys.config().hop_latency,
-            stats: Stats::new(),
+            stats,
+            ids,
         }
     }
 
@@ -182,6 +209,29 @@ impl HaloEngine {
         self.dispatch_for_slice(sys, core, slice, trace, key_hash, key_addr, dest, at)
     }
 
+    /// Dispatches a dependent chain of blocking queries: each query
+    /// issues `gap` cycles after the previous query's completion (the
+    /// first at `at`). Returns the cycle `gap` past the last completion
+    /// (`at` when `queries` is empty) — exactly the scalar
+    /// [`dispatch`](Self::dispatch) loop, with the per-query dispatch
+    /// overhead paid once per burst. This is the `LOOKUP_B` tuple-walk
+    /// path of the vswitch MegaFlow search.
+    pub fn dispatch_burst<'a>(
+        &mut self,
+        sys: &mut MemorySystem,
+        core: CoreId,
+        queries: impl IntoIterator<Item = (Addr, &'a LookupTrace, u64)>,
+        gap: Cycles,
+        at: Cycle,
+    ) -> Cycle {
+        let mut t = at;
+        for (table_addr, trace, key_hash) in queries {
+            let out = self.dispatch(sys, core, table_addr, trace, key_hash, None, None, t);
+            t = out.complete + gap;
+        }
+        t
+    }
+
     /// `LOOKUP_B`: blocking lookup. The core stalls until the result
     /// returns over the interconnect (load-like semantics). Returns the
     /// value and the cycle the core resumes.
@@ -256,8 +306,8 @@ impl HaloEngine {
         dest: Option<Addr>,
         at: Cycle,
     ) -> QueryOutcome {
-        self.stats.bump("engine.queries");
-        self.stats.bump(&format!("engine.dispatch.slice{slice}"));
+        self.stats.inc(self.ids.queries);
+        self.stats.inc(self.ids.dispatch_slice[slice]);
         self.flowregs[slice].observe(key_hash);
         let arrive = at + self.dispatch_wire(sys, core, slice);
         self.accels[slice].execute(sys, trace, key_addr, arrive, dest)
@@ -274,7 +324,7 @@ impl HaloEngine {
         addr: Addr,
         at: Cycle,
     ) -> (u64, Cycle) {
-        self.stats.bump("engine.snapshot_read");
+        self.stats.inc(self.ids.snapshot_read);
         let out = sys.snapshot_read(core, addr, at);
         let v = sys.data_mut().read_u64(addr);
         (v, out.complete)

@@ -1,7 +1,7 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|all]
+//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|bench-hotpath|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
@@ -15,6 +15,10 @@
 //!
 //! `figures bench-sweep` measures one sequential and one parallel run
 //! of the ported sweeps and writes `BENCH_sweep.json`.
+//!
+//! `figures bench-hotpath [--quick]` measures simulator hot-path
+//! throughput (accesses/sec and packets/sec) and writes
+//! `BENCH_hotpath.json` — the tracked perf-trajectory datapoint.
 
 use halo_bench::experiments as ex;
 
@@ -49,7 +53,8 @@ fn main() {
         // before any sweep spawns (single-threaded here, hence safe).
         std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
+        "bench-hotpath",
         "all",
         "table1",
         "fig3",
@@ -73,6 +78,34 @@ fn main() {
             KNOWN.join(" | ")
         );
         std::process::exit(2);
+    }
+    if which.contains(&"bench-hotpath") {
+        // Quick mode (the CI smoke setting) via the dedicated flag;
+        // `--full` already being the default here, `--quick` shrinks op
+        // counts ~10x with identical profile shapes.
+        let quick = args.iter().any(|a| a == "--quick");
+        eprintln!(
+            "bench-hotpath: measuring simulator throughput ({} mode)...",
+            if quick { "quick" } else { "full" }
+        );
+        let rows = halo_bench::hotpath_bench::run(quick);
+        for r in &rows {
+            eprintln!(
+                "  {}: {} {} in {:.2}s -> {:.0} {}/s",
+                r.profile,
+                r.ops,
+                r.unit,
+                r.wall_s,
+                r.rate(),
+                r.unit
+            );
+        }
+        let json = halo_bench::hotpath_bench::to_json(&rows, quick);
+        std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+        println!("{json}");
+        if which.len() == 1 {
+            return;
+        }
     }
     if which.contains(&"bench-sweep") {
         let jobs = halo_sim::default_jobs();

@@ -27,9 +27,9 @@ fn build_table(sys: &mut MemorySystem, flows: usize) -> CuckooTable {
 
 /// Boxed row-producing point used by studies whose configurations need
 /// heterogeneous closures.
-type RowPoint<'a> = FnPoint<Box<dyn Fn() -> Vec<String> + Send + 'a>>;
+type RowPoint = FnPoint<Box<dyn Fn() -> Vec<String> + Send + 'static>>;
 
-fn sweep_rows(name: &str, points: Vec<RowPoint<'_>>, headers: Vec<&str>) -> TextTable {
+fn sweep_rows(name: &str, points: Vec<RowPoint>, headers: Vec<&str>) -> TextTable {
     let rows = SweepRunner::from_env(name).run(points);
     let mut t = TextTable::new(headers);
     for r in rows {
@@ -41,7 +41,7 @@ fn sweep_rows(name: &str, points: Vec<RowPoint<'_>>, headers: Vec<&str>) -> Text
 /// Metadata cache on/off: average blocking-lookup latency.
 #[must_use]
 pub fn metadata_cache() -> TextTable {
-    let points: Vec<RowPoint<'_>> = [true, false]
+    let points: Vec<RowPoint> = [true, false]
         .iter()
         .enumerate()
         .map(|(i, &enabled)| {
@@ -85,7 +85,7 @@ pub fn metadata_cache() -> TextTable {
 /// Scoreboard depth sweep: non-blocking batch throughput.
 #[must_use]
 pub fn scoreboard_depth() -> TextTable {
-    let points: Vec<RowPoint<'_>> = [1usize, 2, 10, 32]
+    let points: Vec<RowPoint> = [1usize, 2, 10, 32]
         .iter()
         .enumerate()
         .map(|(i, &depth)| {
@@ -147,7 +147,7 @@ pub fn dispatch_policy() -> TextTable {
         ("round-robin", DispatchPolicy::RoundRobin),
         ("key-hash", DispatchPolicy::KeyHash),
     ];
-    let points: Vec<RowPoint<'_>> = policies
+    let points: Vec<RowPoint> = policies
         .iter()
         .enumerate()
         .map(|(i, &(name, policy))| {
@@ -286,7 +286,7 @@ pub fn locking() -> TextTable {
 /// Hybrid-mode threshold sweep: where does the SW/HALO crossover sit?
 #[must_use]
 pub fn hybrid_threshold() -> TextTable {
-    let points: Vec<RowPoint<'_>> = [8usize, 32, 64, 256, 4096]
+    let points: Vec<RowPoint> = [8usize, 32, 64, 256, 4096]
         .iter()
         .enumerate()
         .map(|(i, &flows)| {
@@ -359,7 +359,7 @@ pub fn hybrid_threshold() -> TextTable {
 /// count crosses the threshold.
 #[must_use]
 pub fn hybrid_in_action() -> TextTable {
-    let points: Vec<RowPoint<'_>> = [16usize, 1024]
+    let points: Vec<RowPoint> = [16usize, 1024]
         .iter()
         .enumerate()
         .map(|(i, &flows)| {

@@ -24,5 +24,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath_bench;
 pub mod microbench;
 pub mod sweep_bench;

@@ -82,13 +82,21 @@ pub fn run(jobs: usize) -> Vec<SweepBenchRow> {
 }
 
 /// Serializes the rows as the `BENCH_sweep.json` document.
+///
+/// `host_parallelism` is what the host offers, `jobs` is what the
+/// parallel runs were configured with, and `observed_parallelism` is
+/// the peak number of points the sweep runner actually executed
+/// simultaneously — on a host with fewer cores than `jobs`, that last
+/// number is the honest bound on any reported speedup.
 #[must_use]
 pub fn to_json(rows: &[SweepBenchRow], jobs: usize) -> String {
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let observed = halo_sim::observed_parallelism();
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"sweep-runner sequential vs parallel\",\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str(&format!("  \"host_parallelism\": {host_cores},\n"));
+    s.push_str(&format!("  \"observed_parallelism\": {observed},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(

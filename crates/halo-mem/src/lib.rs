@@ -30,11 +30,13 @@
 mod addr;
 mod cache;
 mod config;
+mod locks;
 mod memory;
 mod system;
 
 pub use addr::{Addr, CoreId, LineAddr, SliceId, CACHE_LINE};
 pub use cache::{CacheArray, Eviction, LineMeta, LineState};
 pub use config::{CacheGeometry, MachineConfig};
+pub use locks::LockTable;
 pub use memory::SimMemory;
 pub use system::{AccessKind, AccessOutcome, HitLevel, MemorySystem};

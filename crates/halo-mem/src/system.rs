@@ -9,9 +9,9 @@
 use crate::addr::{Addr, CoreId, LineAddr, SliceId};
 use crate::cache::{CacheArray, Eviction, LineState};
 use crate::config::MachineConfig;
+use crate::locks::LockTable;
 use crate::memory::SimMemory;
-use halo_sim::{BankedResource, Cycle, Cycles, Resource, Stats};
-use std::collections::HashMap;
+use halo_sim::{BankedResource, Cycle, Cycles, Resource, StatId, Stats};
 
 /// Kind of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +75,77 @@ pub struct MemorySystem {
     slice_port: Vec<Resource>,
     dram: BankedResource,
     /// HALO hardware lock bits: line -> cycle at which the lock releases.
-    locks: HashMap<LineAddr, Cycle>,
+    locks: LockTable,
     stats: Stats,
+    ids: MemStatIds,
+}
+
+/// Pre-registered [`StatId`] handles for every counter the memory
+/// system bumps, resolved once at construction so the access hot path
+/// never performs a string lookup. `Stats::clear` zeroes values but
+/// keeps registrations, so these handles survive `clear_stats`.
+#[derive(Debug, Clone, Copy)]
+struct MemStatIds {
+    mem_load: StatId,
+    mem_store: StatId,
+    l1d_hit: StatId,
+    l1d_miss: StatId,
+    l2_hit: StatId,
+    l2_miss: StatId,
+    llc_hit: StatId,
+    llc_miss: StatId,
+    dram_access: StatId,
+    store_lock_retry: StatId,
+    llc_dirty_snoop: StatId,
+    mem_snapshot_read: StatId,
+    accel_access: StatId,
+    accel_llc_hit: StatId,
+    accel_llc_miss: StatId,
+    hw_lock_set: StatId,
+    dma_write: StatId,
+    flush_private: StatId,
+    fault_force_evict: StatId,
+    llc_writeback: StatId,
+    llc_back_inval: StatId,
+    private_writeback: StatId,
+    coherence_invalidation: StatId,
+}
+
+impl MemStatIds {
+    fn register(stats: &mut Stats) -> Self {
+        MemStatIds {
+            mem_load: stats.counter_id("mem.load"),
+            mem_store: stats.counter_id("mem.store"),
+            l1d_hit: stats.counter_id("l1d.hit"),
+            l1d_miss: stats.counter_id("l1d.miss"),
+            l2_hit: stats.counter_id("l2.hit"),
+            l2_miss: stats.counter_id("l2.miss"),
+            llc_hit: stats.counter_id("llc.hit"),
+            llc_miss: stats.counter_id("llc.miss"),
+            dram_access: stats.counter_id("dram.access"),
+            store_lock_retry: stats.counter_id("store.lock_retry"),
+            llc_dirty_snoop: stats.counter_id("llc.dirty_snoop"),
+            mem_snapshot_read: stats.counter_id("mem.snapshot_read"),
+            accel_access: stats.counter_id("accel.access"),
+            accel_llc_hit: stats.counter_id("accel.llc_hit"),
+            accel_llc_miss: stats.counter_id("accel.llc_miss"),
+            hw_lock_set: stats.counter_id("hw_lock.set"),
+            dma_write: stats.counter_id("dma.write"),
+            flush_private: stats.counter_id("flush.private"),
+            fault_force_evict: stats.counter_id("fault.force_evict"),
+            llc_writeback: stats.counter_id("llc.writeback"),
+            llc_back_inval: stats.counter_id("llc.back_inval"),
+            private_writeback: stats.counter_id("private.writeback"),
+            coherence_invalidation: stats.counter_id("coherence.invalidation"),
+        }
+    }
+}
+
+/// The Intel-style address hash assigning a line to its home slice.
+#[inline]
+fn slice_hash(line: LineAddr, slices: usize) -> SliceId {
+    let h = line.0 ^ (line.0 >> 7) ^ (line.0 >> 17);
+    SliceId((h as usize) % slices)
 }
 
 impl MemorySystem {
@@ -101,6 +170,8 @@ impl MemorySystem {
             .collect();
         let dram =
             BankedResource::new("dram-chan", cfg.dram_channels, cfg.dram_latency, Cycles(12));
+        let mut stats = Stats::new();
+        let ids = MemStatIds::register(&mut stats);
         MemorySystem {
             cfg,
             mem: SimMemory::new(),
@@ -111,8 +182,9 @@ impl MemorySystem {
             l2_port,
             slice_port,
             dram,
-            locks: HashMap::new(),
-            stats: Stats::new(),
+            locks: LockTable::new(),
+            stats,
+            ids,
         }
     }
 
@@ -151,8 +223,7 @@ impl MemorySystem {
     /// The home LLC slice of a line (Intel-style address hash).
     #[must_use]
     pub fn home_slice(&self, line: LineAddr) -> SliceId {
-        let h = line.0 ^ (line.0 >> 7) ^ (line.0 >> 17);
-        SliceId((h as usize) % self.cfg.slices)
+        slice_hash(line, self.cfg.slices)
     }
 
     /// Ring-hop distance between a core and a slice (core `i` sits at ring
@@ -194,15 +265,15 @@ impl MemorySystem {
         assert!(core.0 < self.cfg.cores, "core out of range");
         let line = addr.line();
         match kind {
-            AccessKind::Load => self.stats.bump("mem.load"),
-            AccessKind::Store => self.stats.bump("mem.store"),
+            AccessKind::Load => self.stats.inc(self.ids.mem_load),
+            AccessKind::Store => self.stats.inc(self.ids.mem_store),
         }
 
         // L1 lookup.
         let t_l1 = self.l1_port[core.0].serve(line.0 as usize, at);
         if let Some(meta) = self.l1d[core.0].lookup(line) {
             let state = meta.state;
-            self.stats.bump("l1d.hit");
+            self.stats.inc(self.ids.l1d_hit);
             if kind == AccessKind::Store && state != LineState::Modified {
                 // Upgrade: invalidate other sharers through the directory.
                 let t = self.upgrade_for_store(core, line, t_l1);
@@ -220,14 +291,14 @@ impl MemorySystem {
                 level: HitLevel::L1,
             };
         }
-        self.stats.bump("l1d.miss");
+        self.stats.inc(self.ids.l1d_miss);
 
         // L2 lookup.
         let t_l2 = self.l2_port[core.0].serve(at);
         let t_l2 = t_l2.max(t_l1);
         if let Some(meta) = self.l2[core.0].lookup(line) {
             let state = meta.state;
-            self.stats.bump("l2.hit");
+            self.stats.inc(self.ids.l2_hit);
             let mut t = t_l2;
             if kind == AccessKind::Store && state != LineState::Modified {
                 t = self.upgrade_for_store(core, line, t);
@@ -238,7 +309,7 @@ impl MemorySystem {
                 level: HitLevel::L2,
             };
         }
-        self.stats.bump("l2.miss");
+        self.stats.inc(self.ids.l2_miss);
 
         // LLC: traverse interconnect to the home slice.
         let slice = self.home_slice(line);
@@ -247,7 +318,7 @@ impl MemorySystem {
 
         let (present, locked_until, dirty_owner, sharers) = self.llc_probe(slice, line);
         if present {
-            self.stats.bump("llc.hit");
+            self.stats.inc(self.ids.llc_hit);
             let mut t = t_llc;
             let mut level = HitLevel::Llc;
 
@@ -255,7 +326,7 @@ impl MemorySystem {
             let _ = locked_until;
             if kind == AccessKind::Store {
                 if let Some(rel) = self.prune_lock(line, t) {
-                    self.stats.bump("store.lock_retry");
+                    self.stats.inc(self.ids.store_lock_retry);
                     t = rel + Cycles(4); // re-issued snoop-invalidate
                 }
             }
@@ -263,7 +334,7 @@ impl MemorySystem {
             // Dirty in a remote private cache: core-to-core transfer.
             if let Some(owner) = dirty_owner {
                 if owner != core {
-                    self.stats.bump("llc.dirty_snoop");
+                    self.stats.inc(self.ids.llc_dirty_snoop);
                     t += self.cfg.dirty_snoop_latency;
                     level = HitLevel::LlcRemoteDirty;
                     self.downgrade_owner(owner, line);
@@ -277,12 +348,12 @@ impl MemorySystem {
             self.fill_private(core, line, kind);
             return AccessOutcome { complete: t, level };
         }
-        self.stats.bump("llc.miss");
+        self.stats.inc(self.ids.llc_miss);
 
         // DRAM.
         let chan = (line.0 ^ (line.0 >> 9)) as usize;
         let t_dram = self.dram.serve(chan, t_llc);
-        self.stats.bump("dram.access");
+        self.stats.inc(self.ids.dram_access);
         self.llc_install(slice, line, core, kind);
         self.fill_private(core, line, kind);
         AccessOutcome {
@@ -291,13 +362,49 @@ impl MemorySystem {
         }
     }
 
+    /// Performs a dependent chain of timed accesses: each op issues at
+    /// the previous op's completion cycle (the first at `at`). Appends
+    /// one outcome per op to `out` and returns the completion cycle of
+    /// the last op (`at` when `ops` is empty).
+    ///
+    /// Produces exactly the outcomes and statistics of the equivalent
+    /// scalar loop
+    ///
+    /// ```ignore
+    /// for &(a, k) in ops { t = sys.access(core, a, k, t).complete; }
+    /// ```
+    ///
+    /// but hoists per-access dispatch overhead (core bounds check, stat
+    /// handle resolution) out of the inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_batch(
+        &mut self,
+        core: CoreId,
+        ops: &[(Addr, AccessKind)],
+        at: Cycle,
+        out: &mut Vec<AccessOutcome>,
+    ) -> Cycle {
+        assert!(core.0 < self.cfg.cores, "core out of range");
+        out.reserve(ops.len());
+        let mut t = at;
+        for &(addr, kind) in ops {
+            let o = self.access(core, addr, kind, t);
+            t = o.complete;
+            out.push(o);
+        }
+        t
+    }
+
     /// A coherence-neutral snapshot read (the `SNAPSHOT_READ` instruction):
     /// reads the line wherever it is *without* changing any ownership
     /// state and without filling private caches, so the line stays put in
     /// the LLC for the accelerator to keep writing results into.
     pub fn snapshot_read(&mut self, core: CoreId, addr: Addr, at: Cycle) -> AccessOutcome {
         let line = addr.line();
-        self.stats.bump("mem.snapshot_read");
+        self.stats.inc(self.ids.mem_snapshot_read);
         // L1 hit still possible and fastest.
         let t_l1 = self.l1_port[core.0].serve(line.0 as usize, at);
         if self.l1d[core.0].peek(line).is_some() {
@@ -347,7 +454,7 @@ impl MemorySystem {
         at: Cycle,
     ) -> AccessOutcome {
         let line = addr.line();
-        self.stats.bump("accel.access");
+        self.stats.inc(self.ids.accel_access);
         let home = self.home_slice(line);
         let t_arr = if home == from {
             // Local slice: short CHA-internal path (no interconnect
@@ -364,11 +471,11 @@ impl MemorySystem {
 
         let (present, _locked, dirty_owner, sharers) = self.llc_probe(home, line);
         if present {
-            self.stats.bump("accel.llc_hit");
+            self.stats.inc(self.ids.accel_llc_hit);
             let mut t = t_arr;
             let mut level = HitLevel::Llc;
             if let Some(owner) = dirty_owner {
-                self.stats.bump("llc.dirty_snoop");
+                self.stats.inc(self.ids.llc_dirty_snoop);
                 t += self.cfg.dirty_snoop_latency;
                 level = HitLevel::LlcRemoteDirty;
                 self.downgrade_owner(owner, line);
@@ -384,7 +491,7 @@ impl MemorySystem {
             }
             return AccessOutcome { complete: t, level };
         }
-        self.stats.bump("accel.llc_miss");
+        self.stats.inc(self.ids.accel_llc_miss);
         let chan = (line.0 ^ (line.0 >> 9)) as usize;
         let t_dram = self.dram.serve(chan, t_arr);
         self.llc_install_untracked(home, line);
@@ -410,32 +517,27 @@ impl MemorySystem {
         if let Some(meta) = self.llc[slice.0].peek_mut(line) {
             meta.locked = true;
         }
-        let entry = self.locks.entry(line).or_insert(until);
-        *entry = (*entry).max(until);
-        self.stats.bump("hw_lock.set");
+        self.locks.insert_max(line, until);
+        self.stats.inc(self.ids.hw_lock_set);
     }
 
     /// Clears the lock bit if its release time has passed.
+    /// Allocation-free: expired entries are swept out of the lock table
+    /// in place.
     pub fn hw_unlock_expired(&mut self, now: Cycle) {
-        let expired: Vec<LineAddr> = self
-            .locks
-            .iter()
-            .filter(|(_, &rel)| rel <= now)
-            .map(|(&l, _)| l)
-            .collect();
-        for line in expired {
-            self.locks.remove(&line);
-            let slice = self.home_slice(line);
-            if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+        let llc = &mut self.llc;
+        let slices = self.cfg.slices;
+        self.locks.sweep_expired(now, |line| {
+            if let Some(meta) = llc[slice_hash(line, slices).0].peek_mut(line) {
                 meta.locked = false;
             }
-        }
+        });
     }
 
     /// Returns the release time of the lock on `line`, if held.
     #[must_use]
     pub fn lock_release(&self, line: LineAddr) -> Option<Cycle> {
-        self.locks.get(&line).copied()
+        self.locks.get(line)
     }
 
     // ------------------------------------------------------------------
@@ -489,7 +591,7 @@ impl MemorySystem {
             meta.state = LineState::Modified;
             meta.sharers = 0;
         }
-        self.stats.bump("dma.write");
+        self.stats.inc(self.ids.dma_write);
     }
 
     /// Drops every line from `core`'s private caches. Sharer masks in the
@@ -499,7 +601,7 @@ impl MemorySystem {
     pub fn flush_private(&mut self, core: CoreId) {
         self.l1d[core.0].clear();
         self.l2[core.0].clear();
-        self.stats.bump("flush.private");
+        self.stats.inc(self.ids.flush_private);
     }
 
     /// Drops all cached state everywhere (data is unaffected).
@@ -566,7 +668,7 @@ impl MemorySystem {
 
     /// Currently held hardware locks as `(line, release cycle)` pairs.
     pub fn held_locks(&self) -> impl Iterator<Item = (LineAddr, Cycle)> + '_ {
-        self.locks.iter().map(|(&l, &c)| (l, c))
+        self.locks.iter()
     }
 
     /// Forcibly evicts the line containing `addr` from the LLC and every
@@ -582,8 +684,8 @@ impl MemorySystem {
         }
         let slice = self.home_slice(line);
         self.llc[slice.0].invalidate(line);
-        self.locks.remove(&line);
-        self.stats.bump("fault.force_evict");
+        self.locks.remove(line);
+        self.stats.inc(self.ids.fault_force_evict);
     }
 
     // ------------------------------------------------------------------
@@ -593,9 +695,9 @@ impl MemorySystem {
     /// Drops the lock on `line` if it has expired by `now`, clearing the
     /// cache-line lock bit. Returns the still-active release time, if any.
     fn prune_lock(&mut self, line: LineAddr, now: Cycle) -> Option<Cycle> {
-        match self.locks.get(&line).copied() {
+        match self.locks.get(line) {
             Some(rel) if rel <= now => {
-                self.locks.remove(&line);
+                self.locks.remove(line);
                 let slice = self.home_slice(line);
                 if let Some(meta) = self.llc[slice.0].peek_mut(line) {
                     meta.locked = false;
@@ -613,7 +715,7 @@ impl MemorySystem {
         slice: SliceId,
         line: LineAddr,
     ) -> (bool, Option<Cycle>, Option<CoreId>, u64) {
-        let locked_until = self.locks.get(&line).copied();
+        let locked_until = self.locks.get(line);
         let Some(meta) = self.llc[slice.0].lookup(line) else {
             return (false, locked_until, None, 0);
         };
@@ -667,7 +769,7 @@ impl MemorySystem {
             Eviction::None => return,
             Eviction::Clean(l) => l,
             Eviction::Dirty(l) => {
-                self.stats.bump("llc.writeback");
+                self.stats.inc(self.ids.llc_writeback);
                 l
             }
         };
@@ -682,9 +784,9 @@ impl MemorySystem {
             }
         }
         if invalidated {
-            self.stats.bump("llc.back_inval");
+            self.stats.inc(self.ids.llc_back_inval);
         }
-        self.locks.remove(&victim);
+        self.locks.remove(victim);
     }
 
     fn fill_private(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) {
@@ -718,7 +820,7 @@ impl MemorySystem {
         match ev {
             Eviction::None | Eviction::Clean(_) => {}
             Eviction::Dirty(l) => {
-                self.stats.bump("private.writeback");
+                self.stats.inc(self.ids.private_writeback);
                 // Data stays authoritative in SimMemory; mark LLC dirty.
                 let slice = self.home_slice(l);
                 if let Some(meta) = self.llc[slice.0].peek_mut(l) {
@@ -754,7 +856,7 @@ impl MemorySystem {
         // Lock bit check on upgrade as well.
         let t = match self.prune_lock(line, t) {
             Some(rel) => {
-                self.stats.bump("store.lock_retry");
+                self.stats.inc(self.ids.store_lock_retry);
                 rel + Cycles(4)
             }
             None => t,
@@ -778,7 +880,7 @@ impl MemorySystem {
         if others == 0 {
             return at;
         }
-        self.stats.bump("coherence.invalidation");
+        self.stats.inc(self.ids.coherence_invalidation);
         let mut t = at;
         for c in 0..self.cfg.cores {
             if others & (1 << c) != 0 {
@@ -800,7 +902,7 @@ impl MemorySystem {
         if sharers == 0 {
             return at;
         }
-        self.stats.bump("coherence.invalidation");
+        self.stats.inc(self.ids.coherence_invalidation);
         let mut t = at;
         for c in 0..self.cfg.cores {
             if sharers & (1 << c) != 0 {

@@ -48,8 +48,9 @@ mod table;
 pub use cycle::{Cycle, Cycles, CORE_HZ};
 pub use resource::{BankedResource, OutstandingWindow, Resource};
 pub use rng::{SplitMix64, Zipf};
-pub use stats::{Counter, Stats, Summary};
+pub use stats::{Counter, StatId, Stats, Summary};
 pub use sweep::{
-    default_jobs, point_seed, FnPoint, SweepPoint, SweepRunner, SweepTiming, JOBS_ENV,
+    default_jobs, observed_parallelism, point_seed, FnPoint, SweepPoint, SweepRunner, SweepTiming,
+    JOBS_ENV,
 };
 pub use table::{fmt_f64, TextTable};

@@ -87,9 +87,16 @@ impl Resource {
     fn reserve(&mut self, at: Cycle) -> Cycle {
         let need = self.occupancy.0;
         let mut start = at.0.max(self.floor);
-        // Walk intervals (sorted) looking for a gap.
+        // Intervals ending at or before `start` cannot constrain the
+        // reservation (they satisfy neither the gap test nor the bump
+        // test below), so skip them wholesale. Dependent-chain callers
+        // arrive in nondecreasing time, which lands this binary search
+        // at the tail and makes the common serve O(log n) instead of a
+        // full walk.
+        let first = self.intervals.partition_point(|&(_, e)| e <= start);
+        // Walk the remaining intervals (sorted) looking for a gap.
         let mut insert_at = self.intervals.len();
-        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+        for (i, &(s, e)) in self.intervals.iter().enumerate().skip(first) {
             if start + need <= s {
                 insert_at = i;
                 break;

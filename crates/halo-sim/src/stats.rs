@@ -4,6 +4,18 @@
 //! registry so that experiments can print the same quantities the paper
 //! reports (misses per kilo-load, stall ratios, per-stage cycle
 //! breakdowns) without touching component internals.
+//!
+//! # Hot-path interning
+//!
+//! String keys exist for registration and export only. Components on
+//! the simulator's hot path register their counters once at
+//! construction time ([`Stats::counter_id`] / [`Stats::summary_id`])
+//! and bump them through dense [`StatId`] handles ([`Stats::inc`],
+//! [`Stats::add_to`], [`Stats::record_to`]) — one bounds-checked array
+//! index per event instead of a string-keyed tree walk. The string API
+//! ([`Stats::bump`], [`Stats::record`]) remains for cold paths and
+//! interns on first use, so both routes land in the same registry and
+//! serialize identically (keys in lexicographic order).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -29,6 +41,15 @@ impl Counter {
         self.0
     }
 }
+
+/// A pre-registered handle to one counter or summary in a [`Stats`]
+/// registry: an index into the registry's dense value array.
+///
+/// Handles are only meaningful for the registry that issued them and
+/// for registries [cloned](Clone) or [merged](Stats::merge) from it
+/// (name registrations survive both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatId(pub u32);
 
 /// An online mean/min/max accumulator over `f64` samples.
 #[derive(Debug, Clone)]
@@ -98,9 +119,14 @@ impl Summary {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
-/// A string-keyed registry of counters and summaries.
+/// A registry of counters and summaries, string-keyed at the edges and
+/// dense-indexed on the hot path.
 ///
 /// Keys use `component.metric` dotted paths by convention, e.g.
 /// `"l1d.miss"` or `"accel3.queries"`.
@@ -115,11 +141,20 @@ impl Summary {
 /// stats.bump_by("l1d.miss", 3);
 /// assert_eq!(stats.counter("l1d.miss"), 3);
 /// assert!((stats.ratio("l1d.miss", "l1d.hit") - 3.0).abs() < 1e-12);
+///
+/// // Hot-path route: register once, bump through the handle.
+/// let hit = stats.counter_id("l1d.hit");
+/// stats.inc(hit);
+/// assert_eq!(stats.counter("l1d.hit"), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    counters: BTreeMap<String, Counter>,
-    summaries: BTreeMap<String, Summary>,
+    /// Counter name -> dense index. `BTreeMap` so export order is the
+    /// lexicographic key order the old string-keyed registry had.
+    counter_ids: BTreeMap<String, StatId>,
+    counter_vals: Vec<u64>,
+    summary_ids: BTreeMap<String, StatId>,
+    summary_vals: Vec<Summary>,
 }
 
 impl Stats {
@@ -129,31 +164,94 @@ impl Stats {
         Stats::default()
     }
 
+    // ------------------------------------------------------------------
+    // Interned hot-path API
+    // ------------------------------------------------------------------
+
+    /// Registers (or finds) counter `key`, returning its dense handle.
+    pub fn counter_id(&mut self, key: &str) -> StatId {
+        if let Some(&id) = self.counter_ids.get(key) {
+            return id;
+        }
+        let id = StatId(u32::try_from(self.counter_vals.len()).expect("counter registry full"));
+        self.counter_vals.push(0);
+        self.counter_ids.insert(key.to_owned(), id);
+        id
+    }
+
+    /// Registers (or finds) summary `key`, returning its dense handle.
+    pub fn summary_id(&mut self, key: &str) -> StatId {
+        if let Some(&id) = self.summary_ids.get(key) {
+            return id;
+        }
+        let id = StatId(u32::try_from(self.summary_vals.len()).expect("summary registry full"));
+        self.summary_vals.push(Summary::new());
+        self.summary_ids.insert(key.to_owned(), id);
+        id
+    }
+
+    /// Increments the counter behind `id` by one.
+    #[inline]
+    pub fn inc(&mut self, id: StatId) {
+        self.counter_vals[id.0 as usize] += 1;
+    }
+
+    /// Increments the counter behind `id` by `n`.
+    #[inline]
+    pub fn add_to(&mut self, id: StatId, n: u64) {
+        self.counter_vals[id.0 as usize] += n;
+    }
+
+    /// Records a sample into the summary behind `id`.
+    #[inline]
+    pub fn record_to(&mut self, id: StatId, v: f64) {
+        self.summary_vals[id.0 as usize].record(v);
+    }
+
+    /// Reads the counter behind `id`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, id: StatId) -> u64 {
+        self.counter_vals[id.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // String-keyed API (cold paths, registration, export)
+    // ------------------------------------------------------------------
+
     /// Increments counter `key` by one, creating it if absent.
     pub fn bump(&mut self, key: &str) {
-        self.bump_by(key, 1);
+        let id = self.counter_id(key);
+        self.inc(id);
     }
 
     /// Increments counter `key` by `n`, creating it if absent.
     pub fn bump_by(&mut self, key: &str, n: u64) {
-        self.counters.entry_or_default(key).add(n);
+        let id = self.counter_id(key);
+        self.add_to(id, n);
     }
 
     /// Current value of counter `key` (0 if never bumped).
     #[must_use]
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).map_or(0, |c| c.get())
+        self.counter_ids
+            .get(key)
+            .map_or(0, |&id| self.counter_vals[id.0 as usize])
     }
 
     /// Records a sample into summary `key`, creating it if absent.
     pub fn record(&mut self, key: &str, v: f64) {
-        self.summaries.entry(key.to_owned()).or_default().record(v);
+        let id = self.summary_id(key);
+        self.record_to(id, v);
     }
 
     /// Returns summary `key`, if any samples were recorded.
     #[must_use]
     pub fn summary(&self, key: &str) -> Option<&Summary> {
-        self.summaries.get(key)
+        self.summary_ids
+            .get(key)
+            .map(|&id| &self.summary_vals[id.0 as usize])
+            .filter(|s| !s.is_empty())
     }
 
     /// Ratio of two counters; 0.0 when the denominator is zero.
@@ -175,13 +273,26 @@ impl Stats {
     }
 
     /// Merges another registry into this one (counters add, summaries
-    /// concatenate).
+    /// concatenate). Keys are matched by name; a key is cloned only the
+    /// first time this registry sees it.
     pub fn merge(&mut self, other: &Stats) {
-        for (k, c) in &other.counters {
-            self.counters.entry_or_default(k).add(c.get());
+        for (k, &oid) in &other.counter_ids {
+            let v = other.counter_vals[oid.0 as usize];
+            match self.counter_ids.get(k) {
+                Some(&id) => self.counter_vals[id.0 as usize] += v,
+                None => {
+                    let id = self.counter_id(k);
+                    self.counter_vals[id.0 as usize] = v;
+                }
+            }
         }
-        for (k, s) in &other.summaries {
-            let dst = self.summaries.entry(k.clone()).or_default();
+        for (k, &oid) in &other.summary_ids {
+            let s = &other.summary_vals[oid.0 as usize];
+            let id = match self.summary_ids.get(k) {
+                Some(&id) => id,
+                None => self.summary_id(k),
+            };
+            let dst = &mut self.summary_vals[id.0 as usize];
             dst.count += s.count;
             dst.sum += s.sum;
             dst.min = dst.min.min(s.min);
@@ -189,38 +300,39 @@ impl Stats {
         }
     }
 
-    /// Iterates over all counters in key order.
+    /// Iterates over all nonzero counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+        self.counter_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), self.counter_vals[id.0 as usize]))
+            .filter(|&(_, v)| v != 0)
     }
 
-    /// Removes everything.
+    /// Zeroes every counter and summary. Name registrations (and the
+    /// [`StatId`] handles components hold) stay valid, so hot-path
+    /// components keep bumping the same slots after a reset.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.summaries.clear();
-    }
-}
-
-/// Extension trait sugar for `BTreeMap<String, Counter>`.
-trait EntryOrDefault {
-    fn entry_or_default(&mut self, key: &str) -> &mut Counter;
-}
-
-impl EntryOrDefault for BTreeMap<String, Counter> {
-    fn entry_or_default(&mut self, key: &str) -> &mut Counter {
-        if !self.contains_key(key) {
-            self.insert(key.to_owned(), Counter::default());
+        for v in &mut self.counter_vals {
+            *v = 0;
         }
-        self.get_mut(key).expect("just inserted")
+        for s in &mut self.summary_vals {
+            *s = Summary::new();
+        }
     }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, c) in &self.counters {
-            writeln!(f, "{k} = {}", c.get())?;
+        // Never-bumped and cleared entries are skipped so registration
+        // (which pre-creates zero slots) is invisible in the output.
+        for (k, c) in self.counters() {
+            writeln!(f, "{k} = {c}")?;
         }
-        for (k, s) in &self.summaries {
+        for (k, &id) in &self.summary_ids {
+            let s = &self.summary_vals[id.0 as usize];
+            if s.is_empty() {
+                continue;
+            }
             writeln!(
                 f,
                 "{k} = mean {:.3} (n={}, min {:.3}, max {:.3})",
@@ -248,6 +360,18 @@ mod tests {
     }
 
     #[test]
+    fn interned_and_string_routes_share_slots() {
+        let mut s = Stats::new();
+        let id = s.counter_id("l1d.hit");
+        s.inc(id);
+        s.bump("l1d.hit");
+        s.add_to(id, 3);
+        assert_eq!(s.counter("l1d.hit"), 5);
+        assert_eq!(s.get(id), 5);
+        assert_eq!(s.counter_id("l1d.hit"), id, "re-registration is stable");
+    }
+
+    #[test]
     fn summaries_track_extremes() {
         let mut s = Stats::new();
         s.record("lat", 4.0);
@@ -257,6 +381,15 @@ mod tests {
         assert!((sum.mean() - 7.0).abs() < 1e-12);
         assert!((sum.min() - 4.0).abs() < 1e-12);
         assert!((sum.max() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interned_summary_route() {
+        let mut s = Stats::new();
+        let id = s.summary_id("lat");
+        s.record_to(id, 2.0);
+        s.record("lat", 4.0);
+        assert!((s.summary("lat").unwrap().mean() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -287,9 +420,51 @@ mod tests {
     }
 
     #[test]
+    fn merge_preserves_existing_handles() {
+        let mut a = Stats::new();
+        let id = a.counter_id("c");
+        let mut b = Stats::new();
+        b.bump_by("c", 3);
+        b.bump("only_in_b");
+        a.merge(&b);
+        a.inc(id);
+        assert_eq!(a.counter("c"), 4, "handle must survive a merge");
+        assert_eq!(a.counter("only_in_b"), 1);
+    }
+
+    #[test]
+    fn clear_keeps_registrations_valid() {
+        let mut s = Stats::new();
+        let id = s.counter_id("c");
+        s.add_to(id, 7);
+        s.record("m", 1.0);
+        s.clear();
+        assert_eq!(s.counter("c"), 0);
+        assert!(s.summary("m").is_none(), "cleared summary must not export");
+        s.inc(id);
+        assert_eq!(s.counter("c"), 1, "handle must survive clear");
+    }
+
+    #[test]
     fn display_is_nonempty() {
         let mut s = Stats::new();
         s.bump("k");
         assert!(s.to_string().contains("k = 1"));
+    }
+
+    #[test]
+    fn display_skips_zero_and_unused_slots() {
+        let mut s = Stats::new();
+        let _ = s.counter_id("registered_only");
+        let _ = s.summary_id("sum_registered_only");
+        s.bump("k");
+        let out = s.to_string();
+        assert!(out.contains("k = 1"));
+        assert!(!out.contains("registered_only"));
+        // Export order stays lexicographic regardless of registration
+        // order.
+        s.bump("a");
+        let out = s.to_string();
+        assert!(out.find("a = 1").unwrap() < out.find("k = 1").unwrap());
     }
 }

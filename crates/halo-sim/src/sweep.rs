@@ -30,9 +30,113 @@
 //! assert_eq!(seq.len(), 8);
 //! ```
 
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// A task submitted to the persistent worker pool.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide persistent worker pool behind every parallel sweep.
+///
+/// Workers are spawned on first use and then parked on the shared task
+/// queue between sweeps, so an experiment running dozens of sweeps pays
+/// thread creation once per process instead of once per sweep. The pool
+/// grows monotonically to the largest worker count any sweep has asked
+/// for and never shrinks; parked workers cost only their stacks.
+struct WorkerPool {
+    task_tx: mpsc::Sender<PoolTask>,
+    task_rx: Arc<Mutex<mpsc::Receiver<PoolTask>>>,
+    spawned: AtomicUsize,
+}
+
+// Marks threads that belong to the pool, so a sweep started *from a
+// pool worker* (a nested sweep) runs inline instead of submitting to
+// the pool — every worker could be occupied by the outer sweep, and
+// waiting on them from one of them would deadlock.
+thread_local! {
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Peak number of sweep points observed executing simultaneously in
+/// this process (see [`observed_parallelism`]).
+static OBSERVED_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+static OBSERVED_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The peak number of sweep points that have actually executed
+/// simultaneously in this process, as opposed to the worker count a
+/// sweep was *configured* with. Benchmarks record this next to the
+/// host's parallelism so reported speedups can be sanity-checked
+/// against what really ran concurrently.
+#[must_use]
+pub fn observed_parallelism() -> usize {
+    OBSERVED_PEAK.load(Ordering::Relaxed)
+}
+
+/// Scope guard bumping the observed-concurrency counters around one
+/// point's execution.
+struct ActivePoint;
+
+impl ActivePoint {
+    fn enter() -> Self {
+        let now = OBSERVED_ACTIVE.fetch_add(1, Ordering::Relaxed) + 1;
+        OBSERVED_PEAK.fetch_max(now, Ordering::Relaxed);
+        ActivePoint
+    }
+}
+
+impl Drop for ActivePoint {
+    fn drop(&mut self) {
+        OBSERVED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl WorkerPool {
+    fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (task_tx, task_rx) = mpsc::channel();
+            WorkerPool {
+                task_tx,
+                task_rx: Arc::new(Mutex::new(task_rx)),
+                spawned: AtomicUsize::new(0),
+            }
+        })
+    }
+
+    /// Grows the pool to at least `want` workers, then enqueues `task`.
+    fn submit(&'static self, want: usize, task: PoolTask) {
+        let mut cur = self.spawned.load(Ordering::Relaxed);
+        while cur < want {
+            match self.spawned.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let rx = Arc::clone(&self.task_rx);
+                    std::thread::Builder::new()
+                        .name(format!("halo-sweep-{cur}"))
+                        .spawn(move || {
+                            IN_POOL_WORKER.with(|f| f.set(true));
+                            loop {
+                                // The lock guards only the queue pop; it is
+                                // released before the task runs.
+                                let next = rx.lock().expect("pool queue lock").recv();
+                                let Ok(task) = next else { break };
+                                task();
+                            }
+                        })
+                        .expect("spawn sweep worker");
+                    cur += 1;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+        self.task_tx.send(task).expect("pool queue open");
+    }
+}
 
 /// Derives the deterministic RNG seed of one sweep point from the
 /// experiment name and the point's index within the sweep.
@@ -209,15 +313,24 @@ impl SweepRunner {
     }
 
     /// Runs every point and returns the rows in point order.
-    pub fn run<P: SweepPoint>(&self, points: Vec<P>) -> Vec<P::Row> {
+    pub fn run<P: SweepPoint + 'static>(&self, points: Vec<P>) -> Vec<P::Row>
+    where
+        P::Row: 'static,
+    {
         self.run_timed(points).0
     }
 
     /// Runs every point, returning rows in point order plus wall-clock
-    /// accounting.
-    pub fn run_timed<P: SweepPoint>(&self, points: Vec<P>) -> (Vec<P::Row>, SweepTiming) {
+    /// accounting. Parallel runs execute on the process-wide persistent
+    /// worker pool; a sweep started from inside a pool worker (a nested
+    /// sweep) runs inline to keep the pool deadlock-free.
+    pub fn run_timed<P: SweepPoint + 'static>(&self, points: Vec<P>) -> (Vec<P::Row>, SweepTiming)
+    where
+        P::Row: 'static,
+    {
         let n = points.len();
-        let jobs = self.jobs.min(n.max(1));
+        let nested = IN_POOL_WORKER.with(std::cell::Cell::get);
+        let jobs = if nested { 1 } else { self.jobs.min(n.max(1)) };
         let sweep_start = Instant::now();
         let mut rows: Vec<Option<P::Row>> = Vec::with_capacity(n);
         rows.resize_with(n, || None);
@@ -226,47 +339,54 @@ impl SweepRunner {
         if jobs <= 1 {
             for (i, p) in points.iter().enumerate() {
                 let t0 = Instant::now();
+                let active = ActivePoint::enter();
                 let row = p.run();
+                drop(active);
                 let dt = t0.elapsed();
                 self.report(i + 1, n, &p.label(), dt);
                 rows[i] = Some(row);
                 times[i] = dt;
             }
         } else {
-            // Work queue: an mpsc channel pre-loaded with every point;
-            // workers pull from it behind a mutex (the receiver is the
-            // queue head) and push `(index, row)` results back.
+            // Work queue: an mpsc channel pre-loaded with every point.
+            // `jobs` drain tasks go to the persistent pool; each pulls
+            // points from this run's queue behind a mutex (the receiver
+            // is the queue head) and pushes `(index, row)` results back.
             let (work_tx, work_rx) = mpsc::channel();
             for item in points.into_iter().enumerate() {
                 work_tx.send(item).expect("queue open");
             }
             drop(work_tx);
-            let work_rx = Mutex::new(work_rx);
+            let work_rx = Arc::new(Mutex::new(work_rx));
             let (res_tx, res_rx) = mpsc::channel();
-            std::thread::scope(|s| {
-                for _ in 0..jobs {
-                    let res_tx = res_tx.clone();
-                    let work_rx = &work_rx;
-                    s.spawn(move || loop {
+            let pool = WorkerPool::global();
+            for _ in 0..jobs {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                pool.submit(
+                    jobs,
+                    Box::new(move || loop {
                         let next = work_rx.lock().expect("queue lock").recv();
                         let Ok((i, p)) = next else { break };
                         let t0 = Instant::now();
+                        let active = ActivePoint::enter();
                         let row = p.run();
+                        drop(active);
                         let dt = t0.elapsed();
                         if res_tx.send((i, p.label(), row, dt)).is_err() {
                             break;
                         }
-                    });
-                }
-                drop(res_tx);
-                let mut done = 0usize;
-                while let Ok((i, label, row, dt)) = res_rx.recv() {
-                    done += 1;
-                    self.report(done, n, &label, dt);
-                    rows[i] = Some(row);
-                    times[i] = dt;
-                }
-            });
+                    }),
+                );
+            }
+            drop(res_tx);
+            let mut done = 0usize;
+            while let Ok((i, label, row, dt)) = res_rx.recv() {
+                done += 1;
+                self.report(done, n, &label, dt);
+                rows[i] = Some(row);
+                times[i] = dt;
+            }
         }
 
         let merged: Vec<P::Row> = rows
@@ -369,6 +489,43 @@ mod tests {
         assert_eq!(timing.per_point.len(), 5);
         assert_eq!(timing.jobs, 2);
         assert!(timing.wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn pool_is_reused_across_sweeps() {
+        // Back-to-back parallel sweeps must not accumulate threads: the
+        // persistent pool grows to the largest jobs count and stops.
+        let mk = |tag: u64| {
+            (0..6u64)
+                .map(move |i| FnPoint::new(String::new(), move || tag * 100 + i))
+                .collect::<Vec<_>>()
+        };
+        for round in 0..4u64 {
+            let rows = SweepRunner::new("pool-reuse", 3).quiet().run(mk(round));
+            assert_eq!(rows, (0..6).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+        assert!(observed_parallelism() >= 1);
+    }
+
+    #[test]
+    fn nested_sweep_from_pool_worker_runs_inline() {
+        // A point that itself runs a parallel sweep must complete (the
+        // inner sweep falls back to inline execution) with correct rows.
+        let points: Vec<_> = (0..3u64)
+            .map(|outer| {
+                FnPoint::new(format!("outer{outer}"), move || {
+                    let inner: Vec<_> = (0..4u64)
+                        .map(|i| FnPoint::new(String::new(), move || outer * 10 + i))
+                        .collect();
+                    SweepRunner::new("inner", 4).quiet().run(inner)
+                })
+            })
+            .collect();
+        let rows = SweepRunner::new("outer", 2).quiet().run(points);
+        for (outer, inner_rows) in rows.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|i| outer as u64 * 10 + i).collect();
+            assert_eq!(*inner_rows, expect);
+        }
     }
 
     #[test]

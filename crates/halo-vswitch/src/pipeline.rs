@@ -434,15 +434,18 @@ impl VirtualSwitch {
                 }
                 LookupBackend::HaloBlocking => {
                     let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
-                    let mut tt = t;
-                    for (i, tr) in &probes {
-                        let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
-                        let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
-                        let out =
-                            engine.dispatch(sys, self.core, table_addr, tr, h, None, None, tt);
-                        tt = out.complete + Cycles(4);
-                    }
-                    tt
+                    let base_hash = hash_key(&key, SEED_PRIMARY);
+                    let megaflow = &self.megaflow;
+                    engine.dispatch_burst(
+                        sys,
+                        self.core,
+                        probes.iter().map(|(i, tr)| {
+                            let table_addr = megaflow.tuples()[*i].table().meta_addr();
+                            (table_addr, tr, base_hash ^ (*i as u64))
+                        }),
+                        Cycles(4),
+                        t,
+                    )
                 }
                 LookupBackend::HaloNonBlocking => {
                     let engine = engine.expect("HALO backend needs an engine");
@@ -529,6 +532,34 @@ impl VirtualSwitch {
         t = r.finish;
 
         (action, t)
+    }
+
+    /// Processes a burst of packets back-to-back: each packet starts at
+    /// the previous packet's completion cycle (the first at `at`).
+    /// Appends one `(action, completion)` pair per packet to `out` and
+    /// returns the completion cycle of the last packet.
+    ///
+    /// Produces exactly the outcomes, counters, and breakdown of the
+    /// equivalent scalar loop over [`process_packet`]
+    /// (Self::process_packet); the batched entry point exists so bulk
+    /// drivers (benchmarks, the multi-core datapath) pay per-burst
+    /// instead of per-packet dispatch overhead.
+    pub fn process_burst(
+        &mut self,
+        sys: &mut MemorySystem,
+        mut engine: Option<&mut HaloEngine>,
+        headers: &[PacketHeader],
+        at: Cycle,
+        out: &mut Vec<(Option<u64>, Cycle)>,
+    ) -> Cycle {
+        out.reserve(headers.len());
+        let mut t = at;
+        for h in headers {
+            let (action, done) = self.process_packet(sys, engine.as_deref_mut(), h, t);
+            out.push((action, done));
+            t = done;
+        }
+        t
     }
 
     /// Classifies without timing (functional check / oracle).

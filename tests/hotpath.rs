@@ -1,0 +1,216 @@
+//! Hot-path equivalence suite: the batched entry points
+//! (`MemorySystem::access_batch`, `VirtualSwitch::process_burst`,
+//! `HaloEngine::dispatch_burst` via the HALO-blocking backend) must
+//! produce exactly the outcomes and statistics of their scalar
+//! equivalents, and the rewritten lock table / flat cache arrays must
+//! satisfy the halo-check invariant auditor under churn.
+
+use std::collections::HashMap;
+
+use halo_nfv::accel::{AcceleratorConfig, HaloEngine};
+use halo_nfv::check::audit_system;
+use halo_nfv::classify::PacketHeader;
+use halo_nfv::mem::{AccessKind, AccessOutcome, Addr, CoreId, MachineConfig, MemorySystem};
+use halo_nfv::sim::{Cycle, SplitMix64};
+use halo_nfv::vswitch::{LookupBackend, SwitchConfig, VirtualSwitch};
+
+/// A seeded mixed op stream over a working set large enough to exercise
+/// L1 hits, LLC hits, DRAM fills, and capacity evictions.
+fn op_stream(base: Addr, lines: u64, n: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let a = base + (rng.next_u64() % lines) * 64;
+            let kind = if rng.next_u64().is_multiple_of(4) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            (a, kind)
+        })
+        .collect()
+}
+
+fn collect_counters(sys: &MemorySystem) -> Vec<(String, u64)> {
+    sys.stats()
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// `access_batch` must replay a 10k-op stream to byte-identical
+/// outcomes and final statistics as the scalar `access` loop.
+#[test]
+fn access_batch_matches_scalar_stream() {
+    let mk = || {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let base = sys.data_mut().alloc_lines(20_000 * 64);
+        (sys, base)
+    };
+    let (mut scalar_sys, base_a) = mk();
+    let (mut batch_sys, base_b) = mk();
+    assert_eq!(base_a, base_b, "identical construction");
+    let ops = op_stream(base_a, 20_000, 10_000, 0x0048_6F74_5061_7468);
+
+    let mut scalar_out: Vec<AccessOutcome> = Vec::with_capacity(ops.len());
+    let mut t = Cycle(0);
+    for &(a, k) in &ops {
+        let o = scalar_sys.access(CoreId(1), a, k, t);
+        t = o.complete;
+        scalar_out.push(o);
+    }
+    let scalar_final = t;
+
+    let mut batch_out: Vec<AccessOutcome> = Vec::with_capacity(ops.len());
+    // Uneven chunk sizes so batch boundaries land mid-stream.
+    let mut tb = Cycle(0);
+    for chunk in ops.chunks(257) {
+        tb = batch_sys.access_batch(CoreId(1), chunk, tb, &mut batch_out);
+    }
+
+    assert_eq!(tb, scalar_final, "final completion cycle diverged");
+    assert_eq!(batch_out.len(), scalar_out.len());
+    for (i, (s, b)) in scalar_out.iter().zip(&batch_out).enumerate() {
+        assert_eq!(
+            (s.complete, s.level),
+            (b.complete, b.level),
+            "outcome {i} diverged"
+        );
+    }
+    assert_eq!(
+        collect_counters(&scalar_sys),
+        collect_counters(&batch_sys),
+        "final statistics diverged"
+    );
+}
+
+fn build_switch(backend: LookupBackend) -> (MemorySystem, VirtualSwitch, Option<HaloEngine>) {
+    let mut sys = MemorySystem::new(MachineConfig::small());
+    let engine = match backend {
+        LookupBackend::Software => None,
+        _ => Some(HaloEngine::new(&sys, AcceleratorConfig::default())),
+    };
+    let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), SwitchConfig::typical(5, backend));
+    for id in 0..256u64 {
+        let key = PacketHeader::synthetic(id).miniflow();
+        vs.install_flow(&mut sys, &key, (id % 5) as usize, 0, id + 1)
+            .unwrap();
+    }
+    vs.warm_tables(&mut sys);
+    (sys, vs, engine)
+}
+
+fn packet_stream(n: usize, seed: u64) -> Vec<PacketHeader> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| PacketHeader::synthetic(rng.next_u64() % 300))
+        .collect()
+}
+
+fn burst_equivalence(backend: LookupBackend) {
+    let headers = packet_stream(400, 0xBEEF_0001);
+
+    let (mut sys_s, mut vs_s, mut eng_s) = build_switch(backend);
+    let mut scalar: Vec<(Option<u64>, Cycle)> = Vec::new();
+    let mut t = Cycle(0);
+    for h in &headers {
+        let (action, done) = vs_s.process_packet(&mut sys_s, eng_s.as_mut(), h, t);
+        scalar.push((action, done));
+        t = done;
+    }
+
+    let (mut sys_b, mut vs_b, mut eng_b) = build_switch(backend);
+    let mut burst: Vec<(Option<u64>, Cycle)> = Vec::new();
+    let mut tb = Cycle(0);
+    for chunk in headers.chunks(37) {
+        tb = vs_b.process_burst(&mut sys_b, eng_b.as_mut(), chunk, tb, &mut burst);
+    }
+
+    assert_eq!(scalar, burst, "{backend:?}: per-packet outcomes diverged");
+    assert_eq!(tb, t, "{backend:?}: final cycle diverged");
+    let (cs, cb) = (vs_s.counters(), vs_b.counters());
+    assert_eq!(
+        (cs.packets, cs.emc_hits, cs.megaflow_hits, cs.misses),
+        (cb.packets, cb.emc_hits, cb.megaflow_hits, cb.misses),
+        "{backend:?}: switch counters diverged"
+    );
+    assert_eq!(
+        vs_s.breakdown().total(),
+        vs_b.breakdown().total(),
+        "{backend:?}: cycle breakdown diverged"
+    );
+    assert_eq!(
+        collect_counters(&sys_s),
+        collect_counters(&sys_b),
+        "{backend:?}: memory statistics diverged"
+    );
+}
+
+/// `process_burst` over the software backend reproduces the scalar
+/// packet loop exactly.
+#[test]
+fn process_burst_matches_scalar_software() {
+    burst_equivalence(LookupBackend::Software);
+}
+
+/// `process_burst` + `dispatch_burst` over the HALO-blocking backend
+/// (the `LOOKUP_B` MegaFlow walk) reproduces the scalar loop exactly.
+#[test]
+fn process_burst_matches_scalar_halo_blocking() {
+    burst_equivalence(LookupBackend::HaloBlocking);
+}
+
+/// Churns the rewritten open-addressed hardware-lock table through the
+/// `MemorySystem` API against a model map, auditing the lock-flag /
+/// lock-orphan / lock-expired invariants after every step.
+#[test]
+fn lock_table_churn_agrees_with_model_and_auditor() {
+    let mut sys = MemorySystem::new(MachineConfig::small());
+    let base = sys.data_mut().alloc_lines(64 * 64);
+    // A small resident set so capacity evictions never release locks
+    // behind the model's back.
+    let lines: Vec<_> = (0..64u64).map(|i| (base + i * 64).line()).collect();
+    for i in 0..64u64 {
+        sys.warm_llc(base + i * 64);
+    }
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rng = SplitMix64::new(0x10C5_0AD2);
+    let mut now = Cycle(0);
+    for step in 0..2_000 {
+        now += halo_nfv::sim::Cycles(rng.next_u64() % 50);
+        match rng.next_u64() % 4 {
+            0 | 1 => {
+                let line = lines[(rng.next_u64() % 64) as usize];
+                let until = now + halo_nfv::sim::Cycles(rng.next_u64() % 500);
+                sys.hw_lock(line, until);
+                let e = model.entry(line.0).or_insert(0);
+                *e = (*e).max(until.0);
+            }
+            2 => {
+                sys.hw_unlock_expired(now);
+                model.retain(|_, &mut rel| rel > now.0);
+            }
+            _ => {
+                let idx = (rng.next_u64() % 64) as usize;
+                sys.force_evict(base + idx as u64 * 64);
+                model.remove(&lines[idx].0);
+                sys.warm_llc(base + idx as u64 * 64); // restore residency
+            }
+        }
+        let mut held: Vec<(u64, u64)> = sys.held_locks().map(|(l, c)| (l.0, c.0)).collect();
+        let mut expect: Vec<(u64, u64)> = model.iter().map(|(&l, &r)| (l, r)).collect();
+        held.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(held, expect, "lock table diverged from model at {step}");
+
+        // The auditor's lock-expired invariant expects stale locks to be
+        // swept before inspection.
+        sys.hw_unlock_expired(now);
+        model.retain(|_, &mut rel| rel > now.0);
+        let violations = audit_system(&sys, now);
+        assert!(
+            violations.is_empty(),
+            "auditor found violations at step {step}: {violations:?}"
+        );
+    }
+}
