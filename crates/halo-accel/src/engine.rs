@@ -34,6 +34,20 @@ const ISSUE_OVERHEAD: Cycles = Cycles(8);
 /// file and waking the dependent instructions.
 const RETURN_OVERHEAD: Cycles = Cycles(2);
 
+/// Static per-slice op names so dispatch spans intern without
+/// allocating (trace op names must be `&'static str`).
+const SLICE_OPS: [&str; 16] = [
+    "slice0", "slice1", "slice2", "slice3", "slice4", "slice5", "slice6", "slice7", "slice8",
+    "slice9", "slice10", "slice11", "slice12", "slice13", "slice14", "slice15",
+];
+
+/// Trace op name for `slice` (slices past the static table collapse
+/// into one overflow class; no modeled machine has that many).
+#[inline]
+fn slice_op(slice: usize) -> &'static str {
+    SLICE_OPS.get(slice).copied().unwrap_or("slice_other")
+}
+
 /// A pending non-blocking lookup: where the result will appear and when.
 #[derive(Debug, Clone, Copy)]
 pub struct NbHandle {
@@ -256,7 +270,11 @@ impl HaloEngine {
             self.dispatch_for_slice(sys, core, slice, &trace, key_hash, key_addr, None, issued);
         // Result rides the ring back to the core.
         let back = self.dispatch_wire(sys, core, slice);
-        (out.result, out.complete + back + RETURN_OVERHEAD)
+        let resume = out.complete + back + RETURN_OVERHEAD;
+        if sys.trace_enabled() {
+            sys.trace_span("engine", "LOOKUP_B", at, resume);
+        }
+        (out.result, resume)
     }
 
     /// `LOOKUP_NB`: non-blocking lookup. The core continues immediately
@@ -286,6 +304,9 @@ impl HaloEngine {
             None => NB_MISS,
         };
         sys.data_mut().write_u64(dest, encoded);
+        if sys.trace_enabled() {
+            sys.trace_span("engine", "LOOKUP_NB", at, out.complete);
+        }
         NbHandle {
             dest,
             issued: at + Cycles(1),
@@ -310,7 +331,13 @@ impl HaloEngine {
         self.stats.inc(self.ids.dispatch_slice[slice]);
         self.flowregs[slice].observe(key_hash);
         let arrive = at + self.dispatch_wire(sys, core, slice);
-        self.accels[slice].execute(sys, trace, key_addr, arrive, dest)
+        let out = self.accels[slice].execute(sys, trace, key_addr, arrive, dest);
+        if sys.trace_enabled() {
+            // Dispatch-to-complete: wire hops + scoreboard queueing +
+            // accelerator service, per slice.
+            sys.trace_span("accel", slice_op(slice), at, out.complete);
+        }
+        out
     }
 
     /// `SNAPSHOT_READ`: coherence-neutral read of a destination line.
@@ -327,6 +354,9 @@ impl HaloEngine {
         self.stats.inc(self.ids.snapshot_read);
         let out = sys.snapshot_read(core, addr, at);
         let v = sys.data_mut().read_u64(addr);
+        if sys.trace_enabled() {
+            sys.trace_span("engine", "SNAPSHOT_READ", at, out.complete);
+        }
         (v, out.complete)
     }
 
@@ -654,6 +684,42 @@ mod tests {
             .map(|a| a.scoreboard_stalls())
             .sum();
         assert!(stalls > 0, "40 simultaneous queries must exceed 10 slots");
+    }
+
+    /// With tracing on, the three instruction primitives and the
+    /// per-slice dispatch each record spans under their own op class.
+    #[test]
+    fn tracing_attributes_instruction_op_classes() {
+        let (mut sys, mut engine, table) = setup();
+        sys.enable_tracing(4096);
+        let key = FlowKey::synthetic(5, 13);
+        engine.lookup_b(&mut sys, CoreId(0), &table, &key, None, Cycle(0));
+        let dest = sys.data_mut().alloc_lines(64);
+        engine.lookup_nb(&mut sys, CoreId(0), &table, &key, None, dest, Cycle(5_000));
+        engine.snapshot_read(&mut sys, CoreId(0), dest, Cycle(10_000));
+
+        let tr = sys.tracer();
+        assert_eq!(
+            tr.histogram("engine", "LOOKUP_B").map(|h| h.count()),
+            Some(1)
+        );
+        assert_eq!(
+            tr.histogram("engine", "LOOKUP_NB").map(|h| h.count()),
+            Some(1)
+        );
+        assert_eq!(
+            tr.histogram("engine", "SNAPSHOT_READ").map(|h| h.count()),
+            Some(1)
+        );
+        // Both lookups dispatched to a slice (table-hash: same slice).
+        let slice_spans: u64 = (0..16)
+            .filter_map(|s| tr.histogram("accel", slice_op(s)))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(slice_spans, 2);
+        // The LOOKUP_B span covers issue overhead + service + return.
+        let b = tr.histogram("engine", "LOOKUP_B").unwrap();
+        assert!(b.max() > ISSUE_OVERHEAD.0 + RETURN_OVERHEAD.0);
     }
 
     #[test]

@@ -76,8 +76,11 @@ impl FlowRegister {
     /// The linear-counting estimate `m * ln(m / u)`.
     ///
     /// When the array saturates (`u == 0`), the estimate is unreliable;
-    /// this returns `m * ln(m)` (the largest expressible value), which
-    /// callers should treat as "many flows".
+    /// this returns `m * ln(m)` (the largest expressible value). Note
+    /// that for small arrays this cap can sit *below* a caller's flow
+    /// threshold (16 bits give ≈44.4), so threshold comparisons must
+    /// check [`saturated`](Self::saturated) first instead of relying on
+    /// the numeric value to exceed the threshold.
     #[must_use]
     pub fn estimate(&self) -> f64 {
         let m = self.bits.len() as f64;

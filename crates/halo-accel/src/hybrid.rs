@@ -29,6 +29,9 @@ pub struct HybridConfig {
     pub flow_threshold: f64,
     /// Queries per measurement window.
     pub window: u64,
+    /// Bits in the controller's linear-counting register (the paper's
+    /// hardware register is 32-bit; smaller registers saturate earlier).
+    pub register_bits: usize,
 }
 
 impl Default for HybridConfig {
@@ -36,6 +39,7 @@ impl Default for HybridConfig {
         HybridConfig {
             flow_threshold: 64.0,
             window: 256,
+            register_bits: 32,
         }
     }
 }
@@ -69,9 +73,10 @@ pub struct HybridClassifier {
     scratch: Scratch,
     cfg: HybridConfig,
     mode: Mode,
-    /// Software-side linear counter (32-bit, like the hardware one).
+    /// Software-side linear counter (sized by `cfg.register_bits`). The
+    /// register's own observation count doubles as the window position,
+    /// so there is exactly one notion of "queries this window".
     reg: crate::flowreg::FlowRegister,
-    in_window: u64,
     switches: u64,
     sw_lookups: u64,
     hw_lookups: u64,
@@ -88,8 +93,7 @@ impl HybridClassifier {
             scratch,
             cfg,
             mode: Mode::Software,
-            reg: crate::flowreg::FlowRegister::new(32),
-            in_window: 0,
+            reg: crate::flowreg::FlowRegister::new(cfg.register_bits),
             switches: 0,
             sw_lookups: 0,
             hw_lookups: 0,
@@ -127,14 +131,18 @@ impl HybridClassifier {
     ) -> (Option<u64>, Cycle) {
         let h = hash_key(key, SEED_PRIMARY);
         self.reg.observe(h);
-        self.in_window += 1;
-        if self.in_window >= self.cfg.window {
-            self.in_window = 0;
+        if self.reg.observations() >= self.cfg.window {
+            // A saturated register means "at least as many flows as the
+            // array can express" — its numeric estimate m·ln(m) can fall
+            // *below* the threshold for small arrays (m=16 gives ~44.4
+            // against the default 64), so check saturation first rather
+            // than comparing the estimate.
+            let saturated = self.reg.saturated();
             let est = self.reg.estimate_and_reset();
-            let want = if est < self.cfg.flow_threshold {
-                Mode::Software
-            } else {
+            let want = if saturated || est >= self.cfg.flow_threshold {
                 Mode::Halo
+            } else {
+                Mode::Software
             };
             if want != self.mode {
                 self.mode = want;
@@ -231,6 +239,76 @@ mod tests {
             assert_eq!(v, Some(i as u64));
             t = done;
         }
+    }
+
+    /// Regression (saturation vs threshold): a 16-bit register's
+    /// saturated estimate is 16·ln(16) ≈ 44.4, *below* the default
+    /// 64-flow threshold. Before the saturation check, a window with far
+    /// more flows than the register can express selected Software mode —
+    /// exactly the regime where software lookups are slowest.
+    #[test]
+    fn saturated_small_register_forces_halo() {
+        let (mut sys, mut engine, table, keys) = setup(512);
+        let cfg = HybridConfig {
+            register_bits: 16,
+            ..HybridConfig::default()
+        };
+        // Confirm the premise: the saturated estimate is sub-threshold.
+        let mut reg = crate::flowreg::FlowRegister::new(16);
+        for i in 0..512u64 {
+            reg.observe(hash_key(&FlowKey::synthetic(i, 13), SEED_PRIMARY));
+        }
+        assert!(reg.saturated());
+        assert!(
+            reg.estimate() < cfg.flow_threshold,
+            "premise: saturated 16-bit estimate {} must sit below {}",
+            reg.estimate(),
+            cfg.flow_threshold
+        );
+
+        let mut hy = HybridClassifier::new(&mut sys, CoreId(0), cfg);
+        let mut t = Cycle(0);
+        for k in &keys {
+            let (_, done) = hy.lookup(&mut sys, &mut engine, &table, k, t);
+            t = done;
+        }
+        assert_eq!(
+            hy.mode(),
+            Mode::Halo,
+            "saturation must mean 'many flows', not its numeric estimate"
+        );
+        assert!(hy.split().1 > 0, "HALO lookups expected after the switch");
+    }
+
+    /// Regression (window bookkeeping): the mode re-evaluates after
+    /// *exactly* `window` lookups — the register's observation count is
+    /// the only window position, so it cannot drift from the bits.
+    #[test]
+    fn mode_reevaluates_exactly_at_window_boundary() {
+        let (mut sys, mut engine, table, keys) = setup(64);
+        let cfg = HybridConfig {
+            flow_threshold: 1.0, // any estimate >= 1 flips to Halo
+            window: 8,
+            ..HybridConfig::default()
+        };
+        let mut hy = HybridClassifier::new(&mut sys, CoreId(0), cfg);
+        let mut t = Cycle(0);
+        for k in keys.iter().take(7) {
+            let (_, done) = hy.lookup(&mut sys, &mut engine, &table, k, t);
+            t = done;
+        }
+        assert_eq!(hy.mode(), Mode::Software, "window not yet full at 7/8");
+        assert_eq!(hy.switches(), 0);
+        let (_, done) = hy.lookup(&mut sys, &mut engine, &table, &keys[7], t);
+        t = done;
+        assert_eq!(hy.mode(), Mode::Halo, "8th lookup closes the window");
+        assert_eq!(hy.switches(), 1);
+        // The next window starts empty: another 7 lookups stay put.
+        for k in keys.iter().skip(8).take(7) {
+            let (_, done) = hy.lookup(&mut sys, &mut engine, &table, k, t);
+            t = done;
+        }
+        assert_eq!(hy.switches(), 1, "no re-evaluation mid-window");
     }
 
     #[test]

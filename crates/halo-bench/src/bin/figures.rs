@@ -1,7 +1,7 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|bench-hotpath|all]
+//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|bench-hotpath|trace|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
@@ -19,6 +19,11 @@
 //! `figures bench-hotpath [--quick]` measures simulator hot-path
 //! throughput (accesses/sec and packets/sec) and writes
 //! `BENCH_hotpath.json` — the tracked perf-trajectory datapoint.
+//!
+//! `figures trace [--quick]` runs a mixed classification workload with
+//! the tracing sink enabled, prints per-op-class latency percentiles,
+//! and writes `TRACE_halo.json` — a Chrome trace-event document
+//! loadable in `chrome://tracing` or Perfetto.
 
 use halo_bench::experiments as ex;
 
@@ -53,8 +58,9 @@ fn main() {
         // before any sweep spawns (single-threaded here, hence safe).
         std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "bench-hotpath",
+        "trace",
         "all",
         "table1",
         "fig3",
@@ -103,6 +109,24 @@ fn main() {
         let json = halo_bench::hotpath_bench::to_json(&rows, quick);
         std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
         println!("{json}");
+        if which.len() == 1 {
+            return;
+        }
+    }
+    if which.contains(&"trace") {
+        let quick = args.iter().any(|a| a == "--quick");
+        eprintln!(
+            "trace: capturing spans from a mixed workload ({} mode)...",
+            if quick { "quick" } else { "full" }
+        );
+        let cap = halo_bench::trace_bench::run(quick);
+        eprintln!(
+            "  {} spans from components: {}",
+            cap.spans,
+            cap.components.join(", ")
+        );
+        std::fs::write("TRACE_halo.json", &cap.chrome_json).expect("write TRACE_halo.json");
+        println!("{}", cap.summary);
         if which.len() == 1 {
             return;
         }

@@ -27,3 +27,4 @@ pub mod experiments;
 pub mod hotpath_bench;
 pub mod microbench;
 pub mod sweep_bench;
+pub mod trace_bench;

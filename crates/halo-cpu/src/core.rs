@@ -206,6 +206,9 @@ impl CoreModel {
         }
 
         self.ready_at = last_finish;
+        if sys.trace_enabled() {
+            sys.trace_span("core", prog.label(), base, last_finish);
+        }
         ExecReport {
             start: first_issue.unwrap_or(base),
             finish: last_finish,
@@ -313,6 +316,27 @@ mod tests {
         assert_eq!(core.ready_at(), r2.finish);
         core.reset();
         assert_eq!(core.ready_at(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn tracing_records_labeled_core_spans() {
+        let (mut sys, mut core) = setup();
+        sys.enable_tracing(1024);
+        let mut p = Program::with_label("unit_prog");
+        p.compute(5, &[]);
+        let r = core.run(&p, &mut sys, Cycle(0));
+        let h = sys
+            .tracer()
+            .histogram("core", "unit_prog")
+            .expect("core span recorded under the program label");
+        assert_eq!(h.count(), 1);
+        // Span runs from the issue base (cycle 0 here) to the finish.
+        assert_eq!(h.max(), r.finish.0);
+        // Unlabeled programs fall back to the default label.
+        let mut q = Program::new();
+        q.compute(1, &[]);
+        core.run(&q, &mut sys, Cycle(0));
+        assert!(sys.tracer().histogram("core", "program").is_some());
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn build_sw_lookup(
     scratch: &mut Scratch,
     key_addr: Option<Addr>,
 ) -> Program {
-    let mut p = Program::new();
+    let mut p = Program::with_label("sw_lookup");
     let budget_loads = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_LOAD_FRACTION).round() as usize;
     let budget_stores = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_STORE_FRACTION).round() as usize;
     let budget_arith = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_ARITH_FRACTION).round() as usize;
@@ -333,7 +333,7 @@ mod tests {
 /// can miss concurrently, bounded by the MSHRs), then the key-value
 /// probes — trading instruction count for memory-level parallelism.
 pub fn build_sw_lookup_bulk(traces: &[&LookupTrace], scratch: &mut Scratch) -> Program {
-    let mut p = Program::new();
+    let mut p = Program::with_label("sw_lookup_bulk");
     // Shared prologue (function entry, loop setup).
     for _ in 0..8 {
         p.load(scratch.next(), &[]);

@@ -52,9 +52,21 @@ pub struct Uop {
 /// let _ = p.compute(1, &[b]);
 /// assert_eq!(p.len(), 4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Program {
     uops: Vec<Uop>,
+    /// Trace label: the op-class name spans recorded for this program
+    /// carry (static so the tracer can intern it without allocating).
+    label: &'static str,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program {
+            uops: Vec::new(),
+            label: "program",
+        }
+    }
 }
 
 impl Program {
@@ -62,6 +74,26 @@ impl Program {
     #[must_use]
     pub fn new() -> Self {
         Program::default()
+    }
+
+    /// Creates an empty program with a trace label.
+    #[must_use]
+    pub fn with_label(label: &'static str) -> Self {
+        Program {
+            uops: Vec::new(),
+            label,
+        }
+    }
+
+    /// Sets the trace label.
+    pub fn set_label(&mut self, label: &'static str) {
+        self.label = label;
+    }
+
+    /// The trace label spans for this program are recorded under.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     fn push(&mut self, kind: UopKind, deps: &[UopId]) -> UopId {

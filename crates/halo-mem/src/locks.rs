@@ -303,6 +303,122 @@ mod tests {
         assert_eq!(got, expected);
     }
 
+    /// First `n` line addresses whose home slot is `slot` in a table of
+    /// `cap` slots (for building deliberate probe runs).
+    fn lines_homing_at(slot: usize, cap: usize, n: usize) -> Vec<u64> {
+        (0u64..)
+            .filter(|&l| l != EMPTY && slot_of(l, cap - 1) == slot)
+            .take(n)
+            .collect()
+    }
+
+    /// `sweep_expired` deletes in place and re-examines the slot a
+    /// backward shift refills — including when the probe run wraps from
+    /// the last slot to slot 0. Three keys homing at the last slot
+    /// occupy slots `cap-1`, `0`, `1`; expiring the run's first and
+    /// third entries forces a shift *across* the wraparound boundary,
+    /// and the survivor must stay reachable.
+    #[test]
+    fn sweep_backward_shift_across_wraparound_keeps_survivor_reachable() {
+        let cap = INITIAL_CAPACITY;
+        let last = cap - 1;
+        let lines = lines_homing_at(last, cap, 3);
+        let mut t = LockTable::new();
+        t.insert_max(LineAddr(lines[0]), Cycle(10)); // slot cap-1 (expires)
+        t.insert_max(LineAddr(lines[1]), Cycle(100)); // wraps to slot 0
+        t.insert_max(LineAddr(lines[2]), Cycle(10)); // slot 1 (expires)
+
+        let mut released = Vec::new();
+        t.sweep_expired(Cycle(50), |l| released.push(l.0));
+        released.sort_unstable();
+        let mut expected = vec![lines[0], lines[2]];
+        expected.sort_unstable();
+        assert_eq!(released, expected);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.get(LineAddr(lines[1])),
+            Some(Cycle(100)),
+            "survivor shifted across the boundary must stay reachable"
+        );
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    /// The wraparound case where the entry pulled backward into a
+    /// just-vacated slot of the wrapped run is *itself* expired: the
+    /// in-place re-examination must release it too (a plain `i += 1`
+    /// sweep would skip it).
+    #[test]
+    fn sweep_re_examines_entry_shifted_across_wraparound() {
+        let cap = INITIAL_CAPACITY;
+        let last = cap - 1;
+        let lines = lines_homing_at(last, cap, 3);
+        let mut t = LockTable::new();
+        for &l in &lines {
+            t.insert_max(LineAddr(l), Cycle(10)); // all expire
+        }
+        let mut released = Vec::new();
+        t.sweep_expired(Cycle(50), |l| released.push(l.0));
+        released.sort_unstable();
+        let mut expected = lines.clone();
+        expected.sort_unstable();
+        assert_eq!(released, expected, "every expired entry must release");
+        assert!(t.is_empty());
+    }
+
+    /// Differential churn constrained to lines homing at the last few
+    /// slots, so probe runs constantly straddle the wraparound boundary
+    /// — the regime the uniform-domain churn test rarely exercises.
+    #[test]
+    fn wraparound_boundary_churn_agrees_with_model() {
+        let cap = INITIAL_CAPACITY;
+        // Enough keys per boundary slot that runs overflow past slot 0,
+        // but few enough that the table never grows past `cap`.
+        let keys: Vec<u64> = (0..4)
+            .flat_map(|d| lines_homing_at(cap - 1 - d, cap, 6))
+            .collect();
+        let mut t = LockTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = SplitMix64::new(0xB0_0517);
+        for step in 0..10_000u64 {
+            let line = keys[(rng.next_u64() % keys.len() as u64) as usize];
+            match rng.next_u64() % 4 {
+                0 | 1 => {
+                    let until = rng.next_u64() % 10_000;
+                    t.insert_max(LineAddr(line), Cycle(until));
+                    let e = model.entry(line).or_insert(0);
+                    *e = (*e).max(until);
+                }
+                2 => {
+                    let got = t.remove(LineAddr(line)).map(|c| c.0);
+                    assert_eq!(got, model.remove(&line), "remove({line}) at {step}");
+                }
+                _ => {
+                    let now = rng.next_u64() % 10_000;
+                    let mut released = Vec::new();
+                    t.sweep_expired(Cycle(now), |l| released.push(l.0));
+                    let mut expected: Vec<u64> = model
+                        .iter()
+                        .filter(|(_, &r)| r <= now)
+                        .map(|(&l, _)| l)
+                        .collect();
+                    model.retain(|_, &mut r| r > now);
+                    released.sort_unstable();
+                    expected.sort_unstable();
+                    assert_eq!(released, expected, "sweep({now}) at {step}");
+                }
+            }
+            assert_eq!(t.len(), model.len(), "len at {step}");
+            assert_eq!(t.keys.len(), cap, "domain sized to avoid growth");
+        }
+        for &k in &keys {
+            assert_eq!(
+                t.get(LineAddr(k)).map(|c| c.0),
+                model.get(&k).copied(),
+                "final lookup of {k}"
+            );
+        }
+    }
+
     #[test]
     fn clear_empties() {
         let mut t = LockTable::new();

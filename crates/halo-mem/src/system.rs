@@ -11,7 +11,7 @@ use crate::cache::{CacheArray, Eviction, LineState};
 use crate::config::MachineConfig;
 use crate::locks::LockTable;
 use crate::memory::SimMemory;
-use halo_sim::{BankedResource, Cycle, Cycles, Resource, StatId, Stats};
+use halo_sim::{BankedResource, Cycle, Cycles, Resource, StatId, Stats, Tracer};
 
 /// Kind of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,34 @@ pub struct MemorySystem {
     locks: LockTable,
     stats: Stats,
     ids: MemStatIds,
+    /// Cycle-attribution sink (DESIGN.md §10). Off by default; every
+    /// instrumented path checks [`Tracer::is_enabled`] first, so the
+    /// disabled cost is one branch per access.
+    tracer: Tracer,
+}
+
+/// Span op name for an access satisfied at `level` (core-initiated).
+#[inline]
+fn level_op(level: HitLevel) -> &'static str {
+    match level {
+        HitLevel::L1 => "l1",
+        HitLevel::L2 => "l2",
+        HitLevel::Llc => "llc",
+        HitLevel::LlcRemoteDirty => "llc_dirty",
+        HitLevel::Dram => "dram",
+    }
+}
+
+/// Span op name for an accelerator-initiated access satisfied at
+/// `level` (the CHA-side fast path; L1/L2 are unreachable from there).
+#[inline]
+fn accel_level_op(level: HitLevel) -> &'static str {
+    match level {
+        HitLevel::L1 | HitLevel::L2 => "accel_private",
+        HitLevel::Llc => "accel_llc",
+        HitLevel::LlcRemoteDirty => "accel_llc_dirty",
+        HitLevel::Dram => "accel_dram",
+    }
 }
 
 /// Pre-registered [`StatId`] handles for every counter the memory
@@ -185,6 +213,7 @@ impl MemorySystem {
             locks: LockTable::new(),
             stats,
             ids,
+            tracer: Tracer::off(),
         }
     }
 
@@ -218,6 +247,45 @@ impl MemorySystem {
     /// Clears collected statistics (cache contents are preserved).
     pub fn clear_stats(&mut self) {
         self.stats.clear();
+    }
+
+    /// The cycle-attribution tracer (histograms + span ring buffer).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (enable/disable/clear/export).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Enables span recording with the given ring-buffer capacity
+    /// (see [`Tracer::enable`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer.enable(capacity);
+    }
+
+    /// Whether tracing is on. Components owning no tracer of their own
+    /// (core model, engine, vswitch) check this before assembling span
+    /// arguments.
+    #[inline]
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Records a span on behalf of another component (no-op while
+    /// tracing is off).
+    #[inline]
+    pub fn trace_span(
+        &mut self,
+        component: &'static str,
+        op: &'static str,
+        start: Cycle,
+        end: Cycle,
+    ) {
+        self.tracer.span(component, op, start, end);
     }
 
     /// The home LLC slice of a line (Intel-style address hash).
@@ -256,6 +324,23 @@ impl MemorySystem {
     ///
     /// Panics if `core` is out of range.
     pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        at: Cycle,
+    ) -> AccessOutcome {
+        let out = self.access_untraced(core, addr, kind, at);
+        if self.tracer.is_enabled() {
+            self.tracer
+                .span("mem", level_op(out.level), at, out.complete);
+        }
+        out
+    }
+
+    /// The uninstrumented access path ([`access`](Self::access) minus
+    /// the hit-level span), shared by the traced wrapper.
+    fn access_untraced(
         &mut self,
         core: CoreId,
         addr: Addr,
@@ -403,6 +488,14 @@ impl MemorySystem {
     /// state and without filling private caches, so the line stays put in
     /// the LLC for the accelerator to keep writing results into.
     pub fn snapshot_read(&mut self, core: CoreId, addr: Addr, at: Cycle) -> AccessOutcome {
+        let out = self.snapshot_read_untraced(core, addr, at);
+        if self.tracer.is_enabled() {
+            self.tracer.span("mem", "snapshot_read", at, out.complete);
+        }
+        out
+    }
+
+    fn snapshot_read_untraced(&mut self, core: CoreId, addr: Addr, at: Cycle) -> AccessOutcome {
         let line = addr.line();
         self.stats.inc(self.ids.mem_snapshot_read);
         // L1 hit still possible and fastest.
@@ -447,6 +540,21 @@ impl MemorySystem {
     /// `slice`'s CHA. Near-cache accesses to the local slice skip the
     /// core-side interconnect round trip entirely.
     pub fn accel_access(
+        &mut self,
+        from: SliceId,
+        addr: Addr,
+        kind: AccessKind,
+        at: Cycle,
+    ) -> AccessOutcome {
+        let out = self.accel_access_untraced(from, addr, kind, at);
+        if self.tracer.is_enabled() {
+            self.tracer
+                .span("mem", accel_level_op(out.level), at, out.complete);
+        }
+        out
+    }
+
+    fn accel_access_untraced(
         &mut self,
         from: SliceId,
         addr: Addr,
@@ -1221,6 +1329,47 @@ mod tests {
         let (h, m) = s.l1_hit_miss(CoreId(2));
         let _ = s.l1_lines(CoreId(2)).count();
         assert_eq!((h, m), s.l1_hit_miss(CoreId(2)));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_attributes_hit_levels() {
+        let mut s = sys();
+        let a = s.data_mut().alloc_lines(64);
+        s.access(CoreId(0), a, AccessKind::Load, Cycle(0));
+        assert!(!s.trace_enabled());
+        assert!(s.tracer().is_empty(), "no spans while tracing is off");
+
+        s.enable_tracing(1024);
+        let warm = s.access(CoreId(0), a, AccessKind::Load, Cycle(100));
+        assert_eq!(warm.level, HitLevel::L1);
+        let h = s.tracer().histogram("mem", "l1").expect("l1 span class");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), (warm.complete - Cycle(100)).0);
+
+        let b = s.data_mut().alloc_lines(64);
+        let cold = s.access(CoreId(0), b, AccessKind::Load, warm.complete);
+        assert_eq!(cold.level, HitLevel::Dram);
+        assert_eq!(s.tracer().histogram("mem", "dram").unwrap().count(), 1);
+
+        // Snapshot reads and accelerator accesses get their own classes.
+        let c = s.data_mut().alloc_lines(64);
+        s.warm_llc(c);
+        s.snapshot_read(CoreId(1), c, Cycle(0));
+        assert_eq!(
+            s.tracer()
+                .histogram("mem", "snapshot_read")
+                .unwrap()
+                .count(),
+            1
+        );
+        let home = s.home_slice(c.line());
+        s.accel_access(home, c, AccessKind::Load, Cycle(0));
+        assert_eq!(s.tracer().histogram("mem", "accel_llc").unwrap().count(), 1);
+
+        // The exporter sees every span recorded above.
+        let json = s.tracer().to_chrome_trace();
+        assert!(json.contains("\"name\":\"snapshot_read\""));
+        assert!(json.contains("\"name\":\"accel_llc\""));
     }
 
     #[test]

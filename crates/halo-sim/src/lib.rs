@@ -14,6 +14,10 @@
 //! * [`SplitMix64`] / [`Zipf`] — seeded, reproducible random streams for
 //!   workload generation.
 //! * [`Stats`] — counter/summary registry each component reports into.
+//! * [`Tracer`] / [`LatencyHistogram`] — the runtime-off-by-default
+//!   cycle-attribution sink: per-op-class log2 latency histograms with
+//!   p50/p95/p99/max plus a span ring buffer exportable as Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto).
 //! * [`SweepRunner`] / [`SweepPoint`] / [`point_seed`] — the
 //!   multi-threaded sweep runner that fans independent experiment
 //!   points over worker threads with deterministic per-point seeding
@@ -44,6 +48,7 @@ mod rng;
 mod stats;
 mod sweep;
 mod table;
+mod trace;
 
 pub use cycle::{Cycle, Cycles, CORE_HZ};
 pub use resource::{BankedResource, OutstandingWindow, Resource};
@@ -54,3 +59,4 @@ pub use sweep::{
     JOBS_ENV,
 };
 pub use table::{fmt_f64, TextTable};
+pub use trace::{LatencyHistogram, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, HIST_BUCKETS};

@@ -37,6 +37,14 @@ use std::time::{Duration, Instant};
 /// A task submitted to the persistent worker pool.
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 
+/// A worker-thread body handed to the pool's spawn function.
+type WorkerBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// The thread-spawning hook of [`WorkerPool::submit_with`]: takes the
+/// worker's name and body, returns whether the OS actually created the
+/// thread. Injectable so tests can force spawn failures.
+type SpawnFn<'a> = &'a mut dyn FnMut(String, WorkerBody) -> std::io::Result<()>;
+
 /// The process-wide persistent worker pool behind every parallel sweep.
 ///
 /// Workers are spawned on first use and then parked on the shared task
@@ -47,7 +55,13 @@ type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 struct WorkerPool {
     task_tx: mpsc::Sender<PoolTask>,
     task_rx: Arc<Mutex<mpsc::Receiver<PoolTask>>>,
+    /// Growth reservations: bumped via compare-exchange *before* the
+    /// spawn attempt (so concurrent submitters don't over-spawn) and
+    /// rolled back if the spawn fails.
     spawned: AtomicUsize,
+    /// Workers whose spawn actually succeeded. Only this counter may
+    /// gate enqueueing: a reservation is not a drainer.
+    alive: AtomicUsize,
 }
 
 // Marks threads that belong to the pool, so a sweep started *from a
@@ -92,20 +106,42 @@ impl Drop for ActivePoint {
 }
 
 impl WorkerPool {
+    fn new() -> Self {
+        let (task_tx, task_rx) = mpsc::channel();
+        WorkerPool {
+            task_tx,
+            task_rx: Arc::new(Mutex::new(task_rx)),
+            spawned: AtomicUsize::new(0),
+            alive: AtomicUsize::new(0),
+        }
+    }
+
     fn global() -> &'static WorkerPool {
         static POOL: OnceLock<WorkerPool> = OnceLock::new();
-        POOL.get_or_init(|| {
-            let (task_tx, task_rx) = mpsc::channel();
-            WorkerPool {
-                task_tx,
-                task_rx: Arc::new(Mutex::new(task_rx)),
-                spawned: AtomicUsize::new(0),
-            }
-        })
+        POOL.get_or_init(WorkerPool::new)
     }
 
     /// Grows the pool to at least `want` workers, then enqueues `task`.
-    fn submit(&'static self, want: usize, task: PoolTask) {
+    fn submit(&self, want: usize, task: PoolTask) {
+        self.submit_with(want, task, &mut |name, body| {
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(body)
+                .map(|_| ())
+        });
+    }
+
+    /// [`submit`](Self::submit) with an injectable thread spawner.
+    ///
+    /// The `spawned` counter is reserved optimistically via
+    /// compare-exchange (so concurrent submitters don't over-spawn), but
+    /// a reservation whose `spawn` call then fails is **rolled back** —
+    /// otherwise the pool would believe workers exist that don't, and a
+    /// later sweep would enqueue work no thread ever drains and wait on
+    /// its result channel forever. If after the growth attempt the pool
+    /// has no workers at all, `task` runs inline on the caller's thread
+    /// instead of being enqueued (same no-stranded-work argument).
+    fn submit_with(&self, want: usize, task: PoolTask, spawn: SpawnFn<'_>) {
         let mut cur = self.spawned.load(Ordering::Relaxed);
         while cur < want {
             match self.spawned.compare_exchange_weak(
@@ -116,23 +152,35 @@ impl WorkerPool {
             ) {
                 Ok(_) => {
                     let rx = Arc::clone(&self.task_rx);
-                    std::thread::Builder::new()
-                        .name(format!("halo-sweep-{cur}"))
-                        .spawn(move || {
-                            IN_POOL_WORKER.with(|f| f.set(true));
-                            loop {
-                                // The lock guards only the queue pop; it is
-                                // released before the task runs.
-                                let next = rx.lock().expect("pool queue lock").recv();
-                                let Ok(task) = next else { break };
-                                task();
-                            }
-                        })
-                        .expect("spawn sweep worker");
+                    let body: WorkerBody = Box::new(move || {
+                        IN_POOL_WORKER.with(|f| f.set(true));
+                        loop {
+                            // The lock guards only the queue pop; it is
+                            // released before the task runs.
+                            let next = rx.lock().expect("pool queue lock").recv();
+                            let Ok(task) = next else { break };
+                            task();
+                        }
+                    });
+                    if spawn(format!("halo-sweep-{cur}"), body).is_err() {
+                        // Roll back the optimistic reservation and stop
+                        // growing: if one spawn failed (thread limit,
+                        // out of memory), retrying immediately will too.
+                        self.spawned.fetch_sub(1, Ordering::Relaxed);
+                        break;
+                    }
+                    self.alive.fetch_add(1, Ordering::Relaxed);
                     cur += 1;
                 }
                 Err(seen) => cur = seen,
             }
+        }
+        if self.alive.load(Ordering::Relaxed) == 0 {
+            // Degraded mode: no worker exists and none could be spawned.
+            // Run the task inline — enqueueing it would strand it (and
+            // any result channel it holds) forever.
+            task();
+            return;
         }
         self.task_tx.send(task).expect("pool queue open");
     }
@@ -526,6 +574,101 @@ mod tests {
             let expect: Vec<u64> = (0..4).map(|i| outer as u64 * 10 + i).collect();
             assert_eq!(*inner_rows, expect);
         }
+    }
+
+    /// Regression test for the spawn-failure counter leak: a failed
+    /// `thread::Builder::spawn` used to leave the optimistic
+    /// compare-exchange increment in place, so the pool believed
+    /// phantom workers existed and a later sweep could enqueue work no
+    /// thread would ever drain. The counter must roll back and the
+    /// submitted task must still run (inline, on the caller's thread).
+    #[test]
+    fn spawn_failure_rolls_back_counter_and_runs_inline() {
+        let pool = WorkerPool::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let mut failing: Box<dyn FnMut(String, WorkerBody) -> std::io::Result<()>> =
+            Box::new(|_name, _body| {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected spawn failure",
+                ))
+            });
+        pool.submit_with(
+            4,
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+            &mut *failing,
+        );
+        assert_eq!(
+            pool.spawned.load(Ordering::Relaxed),
+            0,
+            "failed spawn must roll its reservation back"
+        );
+        assert_eq!(pool.alive.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "with zero workers the task must run inline, not be stranded"
+        );
+
+        // The pool is not poisoned: once spawning works again it grows
+        // and drains normally.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            2,
+            Box::new(move || {
+                tx.send(7u32).expect("result channel open");
+            }),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30))
+                .expect("task drained"),
+            7
+        );
+        assert_eq!(pool.spawned.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.alive.load(Ordering::Relaxed), 2);
+    }
+
+    /// Partial growth: the first spawn succeeds, the second fails. The
+    /// pool must settle on exactly one worker (no leaked reservation)
+    /// and that worker must drain the submitted task.
+    #[test]
+    fn partial_spawn_failure_keeps_pool_functional() {
+        let pool = WorkerPool::new();
+        let mut calls = 0usize;
+        let mut flaky = |name: String, body: WorkerBody| {
+            calls += 1;
+            if calls >= 2 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected spawn failure",
+                ));
+            }
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(body)
+                .map(|_| ())
+        };
+        let (tx, rx) = mpsc::channel();
+        pool.submit_with(
+            4,
+            Box::new(move || {
+                tx.send(1u32).expect("result channel open");
+            }),
+            &mut flaky,
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).expect("drained"),
+            1
+        );
+        assert_eq!(
+            pool.spawned.load(Ordering::Relaxed),
+            1,
+            "one success + one rolled-back failure"
+        );
+        assert_eq!(pool.alive.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! Cycle-attribution tracing: latency histograms and a span ring buffer
+//! with a Chrome trace-event exporter (DESIGN.md §10).
+//!
+//! The paper's evaluation is about *where cycles go* — core vs
+//! CHA/accelerator vs mesh vs DRAM — and about latency under load, not
+//! just throughput means. This module records both views from the same
+//! call sites:
+//!
+//! * [`LatencyHistogram`] — log2-bucketed latency distributions with
+//!   p50/p95/p99/max, one per `(component, op)` class, always cheap
+//!   enough to keep for every span;
+//! * a bounded ring buffer of [`TraceEvent`] spans (simulated-cycle
+//!   begin/end pairs) that [`Tracer::to_chrome_trace`] exports in the
+//!   Chrome trace-event JSON format, so a run opens directly in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Tracing is **off by default**: a disabled [`Tracer`] reduces every
+//! [`Tracer::span`] call to one branch on a bool, and instrumented
+//! components check [`Tracer::is_enabled`] before doing any work to
+//! build a span, so simulation output (timing, statistics, figure
+//! tables) is byte-identical with the subsystem compiled in.
+//!
+//! # Examples
+//!
+//! ```
+//! use halo_sim::{Cycle, Tracer};
+//!
+//! let mut tracer = Tracer::new(1024);
+//! tracer.span("mem", "llc", Cycle(100), Cycle(142));
+//! tracer.span("mem", "llc", Cycle(150), Cycle(190));
+//! let h = tracer.histogram("mem", "llc").unwrap();
+//! assert_eq!(h.count(), 2);
+//! assert_eq!(h.max(), 42);
+//! let json = tracer.to_chrome_trace();
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use crate::cycle::{Cycle, CORE_HZ};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 latency buckets: bucket 0 holds zero-cycle latencies,
+/// bucket `k >= 1` holds latencies in `[2^(k-1), 2^k)`. 65 buckets cover
+/// the full `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed latency histogram (latencies in simulated cycles).
+///
+/// Recording is O(1) and allocation-free (a leading-zeros count plus one
+/// array increment), so a histogram per operation class can stay enabled
+/// on simulator hot paths. Percentiles are resolved to the upper bound
+/// of the containing bucket, clamped to the observed maximum — a
+/// factor-of-two resolution, which is what latency tails are usually
+/// quoted at anyway.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// Bucket index of a latency value: 0 for 0, otherwise
+/// `floor(log2(v)) + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation (in cycles).
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[bucket_of(latency)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded latencies (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded latency (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded latency (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The latency at quantile `p` (`0.0..=1.0`), resolved to the upper
+    /// bound of the containing log2 bucket and clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let upper = if k == 0 {
+                    0
+                } else if k >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (bucket-resolved; see [`percentile`](Self::percentile)).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 95th percentile (bucket-resolved).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// The 99th percentile (bucket-resolved).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Merges another histogram's observations into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One completed span: a `(component, op)`-classed interval of simulated
+/// cycles, e.g. `("mem", "llc")` for an LLC-satisfied access or
+/// `("engine", "LOOKUP_B")` for one blocking accelerator lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The emitting component (`"core"`, `"mem"`, `"engine"`, `"accel"`,
+    /// `"vswitch"`).
+    pub component: &'static str,
+    /// Operation class within the component.
+    pub op: &'static str,
+    /// Span begin, in simulated cycles.
+    pub start: Cycle,
+    /// Span end, in simulated cycles (`end >= start`).
+    pub end: Cycle,
+}
+
+/// Default ring-buffer capacity used by [`Tracer::new`] callers that
+/// don't size it explicitly (see [`Tracer::enable`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// The tracing sink: per-op-class latency histograms plus a bounded
+/// span ring buffer, runtime-off by default.
+///
+/// Components call [`span`](Self::span) with static component/op names;
+/// when disabled the call is a single branch. The ring buffer keeps the
+/// most recent `capacity` spans (older spans are overwritten and counted
+/// in [`dropped`](Self::dropped)); histograms always see every span.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    /// Next slot to overwrite once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    ids: BTreeMap<(&'static str, &'static str), usize>,
+    keys: Vec<(&'static str, &'static str)>,
+    hists: Vec<LatencyHistogram>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (the default state of every simulated
+    /// system): [`span`](Self::span) is a no-op until
+    /// [`enable`](Self::enable) is called.
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer::default()
+    }
+
+    /// Creates an enabled tracer whose ring buffer keeps the most
+    /// recent `capacity` spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let mut t = Tracer::default();
+        t.enable(capacity);
+        t
+    }
+
+    /// Enables recording with the given ring-buffer capacity (pass
+    /// [`DEFAULT_TRACE_CAPACITY`] when in doubt). Previously recorded
+    /// data is kept.
+    pub fn enable(&mut self, capacity: usize) {
+        self.enabled = true;
+        self.capacity = capacity.max(1);
+        self.events.reserve(self.capacity.min(1 << 20));
+    }
+
+    /// Disables recording; recorded data stays readable.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether spans are currently recorded. Instrumented components
+    /// check this before assembling span arguments, so the disabled
+    /// path costs one branch.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one completed span. No-op while disabled.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert `end >= start`.
+    #[inline]
+    pub fn span(&mut self, component: &'static str, op: &'static str, start: Cycle, end: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        self.record_span(component, op, start, end);
+    }
+
+    /// The cold body of [`span`](Self::span), kept out of line so the
+    /// enabled check inlines cheaply at every call site.
+    fn record_span(&mut self, component: &'static str, op: &'static str, start: Cycle, end: Cycle) {
+        debug_assert!(
+            end >= start,
+            "span ends ({end:?}) before it starts ({start:?})"
+        );
+        let id = match self.ids.get(&(component, op)) {
+            Some(&id) => id,
+            None => {
+                let id = self.keys.len();
+                self.ids.insert((component, op), id);
+                self.keys.push((component, op));
+                self.hists.push(LatencyHistogram::new());
+                id
+            }
+        };
+        self.hists[id].record((end - start).0);
+        let ev = TraceEvent {
+            component,
+            op,
+            start,
+            end,
+        };
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of spans currently held in the ring buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no spans have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of spans overwritten because the ring buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained spans in chronological (recording) order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (older, newer) = self.events.split_at(self.head.min(self.events.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// The latency histogram of one `(component, op)` class, if any
+    /// span of that class has been recorded.
+    #[must_use]
+    pub fn histogram(&self, component: &str, op: &str) -> Option<&LatencyHistogram> {
+        self.ids.get(&(component, op)).map(|&id| &self.hists[id])
+    }
+
+    /// Every recorded `(component, op)` class with its histogram, in
+    /// first-recorded order. Histograms cover *all* spans, including
+    /// those dropped from the ring buffer.
+    pub fn op_classes(
+        &self,
+    ) -> impl Iterator<Item = ((&'static str, &'static str), &LatencyHistogram)> + '_ {
+        self.keys.iter().copied().zip(self.hists.iter())
+    }
+
+    /// Drops all recorded spans and histogram contents; the
+    /// enabled/capacity state is unchanged.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+        for h in &mut self.hists {
+            *h = LatencyHistogram::new();
+        }
+    }
+
+    /// Serializes the retained spans in the Chrome trace-event JSON
+    /// format (the "JSON Array Format" with an object wrapper), openable
+    /// in `chrome://tracing` or Perfetto.
+    ///
+    /// Each span becomes a `"ph": "X"` complete event: `ts`/`dur` are in
+    /// microseconds at the reference core frequency ([`CORE_HZ`]), the
+    /// exact cycle values ride along in `args`, and each component maps
+    /// to its own `tid` (named via `"M"` metadata events) so components
+    /// render as separate tracks.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let us_per_cycle = 1.0e6 / CORE_HZ as f64;
+        // Stable component -> track id mapping in first-seen order.
+        let mut tids: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut track_names: Vec<&'static str> = Vec::new();
+        for &(component, _) in &self.keys {
+            tids.entry(component).or_insert_with(|| {
+                track_names.push(component);
+                track_names.len() - 1
+            });
+        }
+        let mut s = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (tid, name) in track_names.iter().enumerate() {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        }
+        for ev in self.events() {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let tid = tids[ev.component];
+            let dur = (ev.end - ev.start).0;
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.4},\"dur\":{:.4},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"start_cyc\":{},\"dur_cyc\":{}}}}}",
+                ev.op,
+                ev.component,
+                ev.start.0 as f64 * us_per_cycle,
+                dur as f64 * us_per_cycle,
+                tid,
+                ev.start.0,
+                dur
+            );
+        }
+        s.push_str("\n],\"displayTimeUnit\":\"ns\",");
+        let _ = writeln!(s, "\"otherData\":{{\"dropped_spans\":{}}}}}", self.dropped);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // Bucket resolution: the true p50 (500) lies in [2^8, 2^9), so
+        // the reported value is the bucket upper bound 511.
+        assert_eq!(h.p50(), 511);
+        assert_eq!(h.p95(), 1000, "clamped to the observed max");
+        assert_eq!(h.p99(), 1000);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_pins_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(37);
+        assert_eq!(h.p50(), 37);
+        assert_eq!(h.p95(), 37);
+        assert_eq!(h.p99(), 37);
+        assert_eq!(h.percentile(1.0), 37);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1010);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        assert!(!t.is_enabled());
+        t.span("mem", "l1", Cycle(0), Cycle(5));
+        assert!(t.is_empty());
+        assert!(t.histogram("mem", "l1").is_none());
+    }
+
+    #[test]
+    fn spans_feed_events_and_histograms() {
+        let mut t = Tracer::new(16);
+        t.span("mem", "l1", Cycle(0), Cycle(4));
+        t.span("mem", "llc", Cycle(4), Cycle(40));
+        t.span("core", "sw_lookup", Cycle(0), Cycle(200));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.histogram("mem", "l1").unwrap().count(), 1);
+        assert_eq!(t.histogram("mem", "llc").unwrap().max(), 36);
+        let classes: Vec<_> = t.op_classes().map(|(k, _)| k).collect();
+        assert_eq!(
+            classes,
+            vec![("mem", "l1"), ("mem", "llc"), ("core", "sw_lookup")]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut t = Tracer::new(4);
+        for i in 0..10u64 {
+            t.span("mem", "l1", Cycle(i), Cycle(i + 1));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Retained spans are the most recent four, in order.
+        let starts: Vec<u64> = t.events().map(|e| e.start.0).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9]);
+        // Histograms saw every span, dropped or not.
+        assert_eq!(t.histogram("mem", "l1").unwrap().count(), 10);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut t = Tracer::new(16);
+        t.span("mem", "llc", Cycle(100), Cycle(142));
+        t.span("engine", "LOOKUP_B", Cycle(50), Cycle(180));
+        let json = t.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"LOOKUP_B\""));
+        assert!(json.contains("\"cat\":\"mem\""));
+        assert!(json.contains("\"dur_cyc\":42"));
+        // Two components -> two distinct named tracks.
+        assert!(json.contains("\"args\":{\"name\":\"mem\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"engine\"}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn clear_keeps_enablement() {
+        let mut t = Tracer::new(8);
+        t.span("mem", "l1", Cycle(0), Cycle(1));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+        assert_eq!(
+            t.histogram("mem", "l1").map(LatencyHistogram::count),
+            Some(0)
+        );
+        t.span("mem", "l1", Cycle(0), Cycle(1));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -382,12 +382,19 @@ impl VirtualSwitch {
         let r = self.core_model.run(&io_prog, sys, at);
         let mut t = r.finish;
         self.breakdown.io += r.duration();
+        if sys.trace_enabled() {
+            sys.trace_span("vswitch", "io", at, t);
+        }
 
         // --- Pre-processing: miniflow extraction over the header. ------
+        let pre_start = t;
         let pre_prog = self.phase_program(&[buf], 170);
         let r = self.core_model.run(&pre_prog, sys, t);
         t = r.finish;
         self.breakdown.preproc += r.duration();
+        if sys.trace_enabled() {
+            sys.trace_span("vswitch", "preproc", pre_start, t);
+        }
 
         // --- EMC. -------------------------------------------------------
         let mut action: Option<u64> = None;
@@ -408,6 +415,9 @@ impl VirtualSwitch {
                 }
             };
             self.breakdown.emc += done - t;
+            if sys.trace_enabled() {
+                sys.trace_span("vswitch", "emc", t, done);
+            }
             t = done;
             if let Some(v) = res {
                 self.counters.emc_hits += 1;
@@ -474,6 +484,9 @@ impl VirtualSwitch {
                 }
             };
             self.breakdown.megaflow += done - t;
+            if sys.trace_enabled() {
+                sys.trace_span("vswitch", "megaflow", t, done);
+            }
             t = done;
             if let Some(hit) = m {
                 self.counters.megaflow_hits += 1;
@@ -519,6 +532,9 @@ impl VirtualSwitch {
                     self.counters.misses += 1;
                 }
                 self.breakdown.openflow += tt - t;
+                if sys.trace_enabled() {
+                    sys.trace_span("vswitch", "openflow", t, tt);
+                }
                 t = tt;
             } else {
                 self.counters.misses += 1;
@@ -526,10 +542,14 @@ impl VirtualSwitch {
         }
 
         // --- Action execution + bookkeeping. ------------------------------
+        let other_start = t;
         let other_prog = self.phase_program(&[], 140);
         let r = self.core_model.run(&other_prog, sys, t);
         self.breakdown.other += r.duration();
         t = r.finish;
+        if sys.trace_enabled() {
+            sys.trace_span("vswitch", "other", other_start, t);
+        }
 
         (action, t)
     }
@@ -570,5 +590,50 @@ impl VirtualSwitch {
         header: &PacketHeader,
     ) -> Option<RuleMatch> {
         self.megaflow.classify(sys.data_mut(), &header.miniflow())
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use halo_mem::MachineConfig;
+
+    /// With tracing on, every packet contributes one span per pipeline
+    /// phase, and the phase histograms sum to the breakdown totals.
+    #[test]
+    fn tracing_records_per_phase_spans() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        sys.enable_tracing(1 << 12);
+        let cfg = SwitchConfig::typical(5, LookupBackend::Software);
+        let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+        let pkt = PacketHeader::synthetic(1);
+        vs.install_flow(&mut sys, &pkt.miniflow(), 2, 0, 99)
+            .unwrap();
+        let mut t = Cycle(0);
+        for _ in 0..4 {
+            let (action, done) = vs.process_packet(&mut sys, None, &pkt, t);
+            assert_eq!(action, Some(99));
+            t = done;
+        }
+        let tr = sys.tracer();
+        for phase in ["io", "preproc", "emc", "other"] {
+            let h = tr
+                .histogram("vswitch", phase)
+                .unwrap_or_else(|| panic!("missing {phase} spans"));
+            assert_eq!(h.count(), 4, "{phase}: one span per packet");
+        }
+        // Only the first packet misses the EMC and searches MegaFlow;
+        // the hit is then promoted, so later packets stop at the EMC.
+        assert_eq!(
+            tr.histogram("vswitch", "megaflow").map(|h| h.count()),
+            Some(1)
+        );
+        // Phase spans cover the whole packet: phases are contiguous in
+        // `t`, so the summed span durations equal the breakdown total.
+        let spanned: u64 = ["io", "preproc", "emc", "megaflow", "other"]
+            .iter()
+            .map(|p| tr.histogram("vswitch", p).unwrap().sum())
+            .sum();
+        assert_eq!(spanned, vs.breakdown().total().0);
     }
 }
