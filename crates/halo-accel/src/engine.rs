@@ -249,18 +249,26 @@ impl HaloEngine {
     /// `LOOKUP_B`: blocking lookup. The core stalls until the result
     /// returns over the interconnect (load-like semantics). Returns the
     /// value and the cycle the core resumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not live in simulated memory (its
+    /// [`FlowTable::meta_addr`](halo_tables::FlowTable::meta_addr) is
+    /// `None`) — there is no metadata line to dispatch against.
     pub fn lookup_b(
         &mut self,
         sys: &mut MemorySystem,
         core: CoreId,
-        table: &halo_tables::CuckooTable,
+        table: &dyn halo_tables::FlowTable,
         key: &halo_tables::FlowKey,
         key_addr: Option<Addr>,
         at: Cycle,
     ) -> (Option<u64>, Cycle) {
         let trace = table.lookup_traced(sys.data_mut(), key, false);
         let key_hash = hash_key(key, SEED_PRIMARY);
-        let table_addr = table.meta_addr();
+        let table_addr = table
+            .meta_addr()
+            .expect("HALO dispatch needs an in-memory table");
         let slice = self.pick(table_addr, key_hash);
         // A blocking lookup behaves like an uncacheable load: the core
         // pays a fixed issue/serialization cost before the query enters
@@ -281,12 +289,17 @@ impl HaloEngine {
     /// (store-like semantics); the accelerator writes the result into
     /// `dest` when done (`value + 1`, or [`NB_MISS`] on miss; `0` while
     /// pending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not live in simulated memory (no metadata
+    /// line to dispatch against).
     #[allow(clippy::too_many_arguments)] // mirrors the instruction operand list
     pub fn lookup_nb(
         &mut self,
         sys: &mut MemorySystem,
         core: CoreId,
-        table: &halo_tables::CuckooTable,
+        table: &dyn halo_tables::FlowTable,
         key: &halo_tables::FlowKey,
         key_addr: Option<Addr>,
         dest: Addr,
@@ -294,7 +307,9 @@ impl HaloEngine {
     ) -> NbHandle {
         let trace = table.lookup_traced(sys.data_mut(), key, false);
         let key_hash = hash_key(key, SEED_PRIMARY);
-        let table_addr = table.meta_addr();
+        let table_addr = table
+            .meta_addr()
+            .expect("HALO dispatch needs an in-memory table");
         let slice = self.pick(table_addr, key_hash);
         sys.data_mut().write_u64(dest, 0); // pending marker
         let out =

@@ -12,7 +12,7 @@
 
 use crate::mask::WildcardMask;
 use halo_mem::SimMemory;
-use halo_tables::{CuckooTable, FlowKey, LookupTrace, TableFullError};
+use halo_tables::{CuckooTable, FlowKey, FlowTable, LookupTrace, TableFullError};
 
 /// Search semantics of a tuple space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,14 +48,23 @@ pub fn decode_rule(value: u64) -> (u16, u64) {
     ((value >> 48) as u16, value & ((1 << 48) - 1))
 }
 
-/// One wildcard tuple: a mask plus its rule table.
+/// One wildcard tuple: a mask plus its rule table. Generic over the
+/// table backend (defaulting to the DPDK-style [`CuckooTable`]) so
+/// alternative exact-match designs slot in without touching the search
+/// logic.
 #[derive(Debug)]
-pub struct Tuple {
+pub struct Tuple<T: FlowTable = CuckooTable> {
     mask: WildcardMask,
-    table: CuckooTable,
+    table: T,
 }
 
-impl Tuple {
+impl<T: FlowTable> Tuple<T> {
+    /// Builds a tuple from a mask and a pre-sized rule table.
+    #[must_use]
+    pub fn from_parts(mask: WildcardMask, table: T) -> Self {
+        Tuple { mask, table }
+    }
+
     /// The tuple's wildcard mask.
     #[must_use]
     pub fn mask(&self) -> &WildcardMask {
@@ -64,7 +73,7 @@ impl Tuple {
 
     /// The tuple's rule table.
     #[must_use]
-    pub fn table(&self) -> &CuckooTable {
+    pub fn table(&self) -> &T {
         &self.table
     }
 
@@ -98,14 +107,14 @@ impl Tuple {
 /// assert_eq!(hit.action, 0xAA);
 /// ```
 #[derive(Debug)]
-pub struct TupleSpace {
-    tuples: Vec<Tuple>,
+pub struct TupleSpace<T: FlowTable = CuckooTable> {
+    tuples: Vec<Tuple<T>>,
     mode: SearchMode,
 }
 
 impl TupleSpace {
-    /// Creates a tuple space with one tuple per mask, each sized for
-    /// `entries_per_tuple` rules.
+    /// Creates a cuckoo-backed tuple space with one tuple per mask, each
+    /// sized for `entries_per_tuple` rules.
     pub fn new(
         mem: &mut SimMemory,
         masks: Vec<WildcardMask>,
@@ -126,10 +135,19 @@ impl TupleSpace {
             .collect();
         TupleSpace { tuples, mode }
     }
+}
+
+impl<T: FlowTable> TupleSpace<T> {
+    /// Assembles a tuple space from pre-built tuples (any [`FlowTable`]
+    /// backend), searched in the given order.
+    #[must_use]
+    pub fn from_tuples(tuples: Vec<Tuple<T>>, mode: SearchMode) -> Self {
+        TupleSpace { tuples, mode }
+    }
 
     /// The tuples, in search order.
     #[must_use]
-    pub fn tuples(&self) -> &[Tuple] {
+    pub fn tuples(&self) -> &[Tuple<T>] {
         &self.tuples
     }
 
@@ -344,6 +362,40 @@ mod tests {
                 tss.classify(&mut mem, &k),
                 tss.classify_linear(&mut mem, &k),
                 "divergence at id {id}"
+            );
+        }
+    }
+
+    /// The tuple space is generic over its table backend: the SFH
+    /// baseline drops into the MegaFlow slot and classifies identically
+    /// to the cuckoo default on the same rule set.
+    #[test]
+    fn sfh_backend_classifies_like_cuckoo() {
+        use halo_tables::SfhTable;
+        let mut mem = SimMemory::new();
+        let mut cuckoo = TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::FirstMatch);
+        let tuples = distinct_masks(3)
+            .into_iter()
+            .map(|mask| {
+                Tuple::from_parts(
+                    mask,
+                    SfhTable::with_capacity_for(&mut mem, 256, crate::packet::MINIFLOW_LEN),
+                )
+            })
+            .collect();
+        let mut sfh: TupleSpace<SfhTable> = TupleSpace::from_tuples(tuples, SearchMode::FirstMatch);
+        for id in 0..60u64 {
+            let tuple = (id % 3) as usize;
+            cuckoo
+                .insert_rule(&mut mem, tuple, &key(id), 0, id)
+                .unwrap();
+            sfh.insert_rule(&mut mem, tuple, &key(id), 0, id).unwrap();
+        }
+        for id in 0..90u64 {
+            assert_eq!(
+                cuckoo.classify(&mut mem, &key(id)),
+                sfh.classify(&mut mem, &key(id)),
+                "backends diverged at id {id}"
             );
         }
     }

@@ -29,7 +29,8 @@
 #![warn(missing_debug_implementations)]
 
 use halo_accel::HaloEngine;
-use halo_cpu::{build_sw_lookup, CoreModel, Program, Scratch};
+use halo_cpu::Program;
+use halo_datapath::{LookupBackend, LookupExecutor};
 use halo_mem::{Addr, CoreId, MemorySystem, SimMemory, CACHE_LINE};
 use halo_sim::Cycle;
 use halo_tables::{hash_key, CuckooTable, FlowKey, TableFullError};
@@ -231,25 +232,23 @@ impl KvStore {
         p
     }
 
-    /// Timed GET with a software index lookup on `core`. Returns the
-    /// value and the completion cycle.
+    /// Timed GET with a software index lookup on `exec`'s core. Returns
+    /// the value and the completion cycle.
     pub fn get_timed_sw(
         &self,
         sys: &mut MemorySystem,
-        core: &mut CoreModel,
-        scratch: &mut Scratch,
+        exec: &mut LookupExecutor,
         key: &[u8],
         at: Cycle,
     ) -> (Option<Vec<u8>>, Cycle) {
         let d = digest(key);
         let tr = self.index.lookup_traced(sys.data_mut(), &d, true);
-        let prog = build_sw_lookup(&tr, scratch, None);
-        let mut t = core.run(&prog, sys, at).finish;
+        let mut t = exec.run_sw(sys, &tr, None, at);
         let value = match tr.result {
             Some(handle) => {
                 let (k, v) = read_record(sys.data_mut(), Addr(handle));
                 let read = Self::record_read_program(Addr(handle), k.len(), v.len());
-                t = core.run(&read, sys, t).finish;
+                t = exec.run(&read, sys, t).finish;
                 (k == key).then_some(v)
             }
             None => None,
@@ -263,18 +262,17 @@ impl KvStore {
         &self,
         sys: &mut MemorySystem,
         engine: &mut HaloEngine,
-        core: &mut CoreModel,
+        exec: &mut LookupExecutor,
         key: &[u8],
         at: Cycle,
     ) -> (Option<Vec<u8>>, Cycle) {
         let d = digest(key);
-        let core_id = core.id();
-        let (handle, mut t) = engine.lookup_b(sys, core_id, &self.index, &d, None, at);
+        let (handle, mut t) = engine.lookup_b(sys, exec.core_id(), &self.index, &d, None, at);
         let value = match handle {
             Some(handle) => {
                 let (k, v) = read_record(sys.data_mut(), Addr(handle));
                 let read = Self::record_read_program(Addr(handle), k.len(), v.len());
-                t = core.run(&read, sys, t).finish;
+                t = exec.run(&read, sys, t).finish;
                 (k == key).then_some(v)
             }
             None => None,
@@ -292,16 +290,15 @@ impl KvStore {
         mut keygen: F,
         n: u64,
     ) -> KvReport {
-        let mut core = CoreModel::new(core_id, sys.config());
-        let mut scratch = Scratch::new(sys);
-        scratch.warm(sys, core_id);
+        let mut exec = LookupExecutor::new(sys, core_id, LookupBackend::Software);
+        exec.warm_scratch(sys);
         let mut t = Cycle(0);
         let start = t;
         for i in 0..n {
             let key = keygen(i);
             let (v, done) = match engine.as_deref_mut() {
-                Some(e) => self.get_timed_halo(sys, e, &mut core, &key, t),
-                None => self.get_timed_sw(sys, &mut core, &mut scratch, &key, t),
+                Some(e) => self.get_timed_halo(sys, e, &mut exec, &key, t),
+                None => self.get_timed_sw(sys, &mut exec, &key, t),
             };
             debug_assert!(v.is_some(), "bench keys must exist");
             t = done;
@@ -429,15 +426,13 @@ mod tests {
                 .unwrap();
         }
         let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-        let mut core = CoreModel::new(CoreId(0), sys.config());
-        let mut scratch = Scratch::new(&mut sys);
+        let mut exec = LookupExecutor::new(&mut sys, CoreId(0), LookupBackend::Software);
         for i in (0..200u64).step_by(17) {
             let key = format!("k{i}");
             let expect = kv.get(&mut sys, key.as_bytes());
-            let (sw, _) =
-                kv.get_timed_sw(&mut sys, &mut core, &mut scratch, key.as_bytes(), Cycle(0));
+            let (sw, _) = kv.get_timed_sw(&mut sys, &mut exec, key.as_bytes(), Cycle(0));
             let (hw, _) =
-                kv.get_timed_halo(&mut sys, &mut engine, &mut core, key.as_bytes(), Cycle(0));
+                kv.get_timed_halo(&mut sys, &mut engine, &mut exec, key.as_bytes(), Cycle(0));
             assert_eq!(sw, expect);
             assert_eq!(hw, expect);
         }

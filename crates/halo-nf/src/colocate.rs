@@ -12,7 +12,8 @@
 use crate::compute_nf::{ComputeNf, ComputeNfKind};
 use halo_accel::HaloEngine;
 use halo_classify::{distinct_masks, PacketHeader, SearchMode, TupleSpace};
-use halo_cpu::{build_sw_lookup, CoreModel, MemProfile, Scratch};
+use halo_cpu::MemProfile;
+use halo_datapath::{LookupBackend, LookupExecutor};
 use halo_mem::{CoreId, MemorySystem};
 use halo_sim::{Cycle, Cycles, SplitMix64};
 
@@ -59,8 +60,7 @@ const SWITCH_TUPLES: usize = 10;
 /// against a tuple space.
 #[derive(Debug)]
 struct SwitchThread {
-    core_model: CoreModel,
-    scratch: Scratch,
+    exec: LookupExecutor,
     tss: TupleSpace,
     flows: u64,
     rng: SplitMix64,
@@ -91,10 +91,11 @@ impl SwitchThread {
                 sys.warm_llc(a);
             }
         }
-        let scratch = Scratch::new(sys);
+        // The sibling's scratch stays cold: its working set competes
+        // with the NF for the shared private caches.
+        let exec = LookupExecutor::new(sys, core, LookupBackend::Software);
         SwitchThread {
-            core_model: CoreModel::new(core, sys.config()),
-            scratch,
+            exec,
             tss,
             flows: flows as u64,
             rng: SplitMix64::new(seed),
@@ -110,8 +111,7 @@ impl SwitchThread {
                 let (_, probes) = self.tss.classify_traced(sys.data_mut(), &key, true);
                 let mut t = at;
                 for (_, tr) in &probes {
-                    let prog = build_sw_lookup(tr, &mut self.scratch, None);
-                    t = self.core_model.run(&prog, sys, t).finish;
+                    t = self.exec.run_sw(sys, tr, None, t);
                 }
                 t
             }
@@ -120,15 +120,15 @@ impl SwitchThread {
                 // thread consumes a few issue slots and one destination
                 // line on the shared core (the per-query instruction
                 // footprint of LOOKUP_NB + SNAPSHOT_READ).
-                let core = self.core_model.id();
+                let core = self.exec.core_id();
                 let (_, probes) = self.tss.classify_traced(sys.data_mut(), &key, false);
                 let mut issue = halo_cpu::Program::new();
                 for _ in 0..probes.len() + 1 {
                     issue.compute(1, &[]);
                 }
-                let lk = issue.load(self.scratch.next(), &[]);
+                let lk = issue.load(self.exec.scratch_mut().next(), &[]);
                 issue.compute(1, &[lk]);
-                let issued = self.core_model.run(&issue, sys, at).finish;
+                let issued = self.exec.run(&issue, sys, at).finish;
                 let mut done = issued;
                 for (slot, (i, tr)) in probes.iter().enumerate() {
                     let table_addr = self.tss.tuples()[*i].table().meta_addr();

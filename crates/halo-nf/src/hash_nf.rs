@@ -7,7 +7,8 @@
 //! instructions accelerate.
 
 use halo_accel::HaloEngine;
-use halo_cpu::{build_sw_lookup, CoreModel, Program, Scratch};
+use halo_cpu::Program;
+use halo_datapath::{LookupBackend, LookupExecutor, NbRegion};
 use halo_mem::{CoreId, MemorySystem};
 use halo_sim::SplitMix64;
 use halo_tables::{CuckooTable, FlowKey};
@@ -104,9 +105,7 @@ pub struct HashNfReport {
 #[derive(Debug)]
 pub struct HashNf {
     kind: HashNfKind,
-    core: CoreId,
-    core_model: CoreModel,
-    scratch: Scratch,
+    exec: LookupExecutor,
     table: CuckooTable,
     entries: usize,
     rng: SplitMix64,
@@ -131,13 +130,11 @@ impl HashNf {
                 .insert(sys.data_mut(), &FlowKey::synthetic(id, Self::KEY_LEN), id)
                 .expect("sized for the entry count");
         }
-        let scratch = Scratch::new(sys);
-        scratch.warm(sys, core);
+        let exec = LookupExecutor::new(sys, core, LookupBackend::Software);
+        exec.warm_scratch(sys);
         HashNf {
             kind,
-            core,
-            core_model: CoreModel::new(core, sys.config()),
-            scratch,
+            exec,
             table,
             entries,
             rng: SplitMix64::new(seed),
@@ -171,12 +168,13 @@ impl HashNf {
 
     fn extra_program(&mut self) -> Program {
         let (loads, stores, compute) = self.kind.extra_mix();
+        let scratch = self.exec.scratch_mut();
         let mut p = Program::new();
         for _ in 0..loads {
-            p.load(self.scratch.next(), &[]);
+            p.load(scratch.next(), &[]);
         }
         for _ in 0..stores {
-            p.store(self.scratch.next(), &[]);
+            p.store(scratch.next(), &[]);
         }
         for _ in 0..compute {
             p.compute(1, &[]);
@@ -190,18 +188,17 @@ impl HashNf {
 
     /// Runs `packets` packets with software lookups.
     pub fn run_software(&mut self, sys: &mut MemorySystem, packets: u64) -> HashNfReport {
-        let start = self.core_model.ready_at();
+        let start = self.exec.ready_at();
         let mut t = start;
         for _ in 0..packets {
             for _ in 0..self.kind.lookups_per_packet() {
                 let key = self.next_key();
                 let tr = self.table.lookup_traced(sys.data_mut(), &key, true);
                 debug_assert!(tr.result.is_some());
-                let prog = build_sw_lookup(&tr, &mut self.scratch, None);
-                t = self.core_model.run(&prog, sys, t).finish;
+                t = self.exec.run_sw(sys, &tr, None, t);
             }
             let extra = self.extra_program();
-            t = self.core_model.run(&extra, sys, t).finish;
+            t = self.exec.run(&extra, sys, t).finish;
         }
         let cycles = (t - start).0;
         HashNfReport {
@@ -223,9 +220,11 @@ impl HashNf {
         packets: u64,
     ) -> HashNfReport {
         const BURST: u64 = 8;
-        let start = self.core_model.ready_at();
+        let start = self.exec.ready_at();
         let mut t = start;
-        let dest = sys.data_mut().alloc_lines(128);
+        // Two destination lines: a burst of 8 packets issues at most 16
+        // non-blocking lookups (NAT does two per packet).
+        let nb = NbRegion::from_raw(sys.data_mut().alloc_lines(128), 16);
         let mut remaining = packets;
         while remaining > 0 {
             let burst = BURST.min(remaining);
@@ -237,11 +236,11 @@ impl HashNf {
                     let key = self.next_key();
                     let h = engine.lookup_nb(
                         sys,
-                        self.core,
+                        self.exec.core_id(),
                         &self.table,
                         &key,
                         None,
-                        dest + (slot % 16) * 8,
+                        nb.dest((slot % 16) as usize),
                         t + halo_sim::Cycles(slot), // ~1 issue/cycle
                     );
                     debug_assert!(h.result.is_some());
@@ -253,11 +252,15 @@ impl HashNf {
             let mut extra_done = t;
             for _ in 0..burst {
                 let extra = self.extra_program();
-                extra_done = self.core_model.run(&extra, sys, extra_done).finish;
+                extra_done = self.exec.run(&extra, sys, extra_done).finish;
             }
             // One snapshot read per burst to collect results.
-            let (_, snap) =
-                engine.snapshot_read(sys, self.core, dest, lookups_done.max(extra_done));
+            let (_, snap) = engine.snapshot_read(
+                sys,
+                self.exec.core_id(),
+                nb.base(),
+                lookups_done.max(extra_done),
+            );
             t = snap;
         }
         let cycles = (t - start).0;

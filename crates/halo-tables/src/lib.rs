@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cuckoo;
+mod flowtable;
 mod hash;
 mod key;
 mod layout;
@@ -38,6 +39,7 @@ mod sfh;
 mod trace;
 
 pub use cuckoo::{CuckooTable, PendingMove, TableFullError};
+pub use flowtable::FlowTable;
 pub use hash::{bucket_pair, hash_key, signature, SEED_PRIMARY, SEED_SECONDARY};
 pub use key::{FlowKey, MAX_KEY_LEN};
 pub use layout::{allocate_table, TableMeta, ENTRIES_PER_BUCKET};

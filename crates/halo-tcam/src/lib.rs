@@ -207,6 +207,84 @@ impl TcamTable {
         self.entries.retain(|e| e.action != action);
         before - self.entries.len()
     }
+
+    /// Non-counting functional match: the highest-priority matching
+    /// action without bumping the lookup energy counter. The immutable
+    /// probe behind the [`FlowTable`](halo_tables::FlowTable) facade.
+    #[must_use]
+    pub fn match_key(&self, key: &[u8]) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(key))
+            .map(|e| e.action)
+    }
+
+    /// Removes the exact-match entry for `key` (mask all ones, value ==
+    /// `key`), returning its action if one was installed.
+    pub fn remove_exact(&mut self, key: &[u8]) -> Option<u64> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.value == key && e.mask.iter().all(|&m| m == 0xff))?;
+        Some(self.entries.remove(pos).action)
+    }
+}
+
+/// The TCAM as an exact-match [`FlowTable`] backend: flows are installed
+/// as all-ones-mask entries at priority 0, so the array doubles as the
+/// EMC/MegaFlow slot in backend comparisons (§6.4). The TCAM lives
+/// outside simulated memory, so traces carry no memory steps and there
+/// is nothing for the accelerator to dispatch against
+/// (`meta_addr() == None`).
+impl halo_tables::FlowTable for TcamTable {
+    fn meta_addr(&self) -> Option<halo_mem::Addr> {
+        None
+    }
+
+    fn len(&self) -> usize {
+        TcamTable::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        TcamTable::capacity(self)
+    }
+
+    fn insert(
+        &mut self,
+        _mem: &mut halo_mem::SimMemory,
+        key: &halo_tables::FlowKey,
+        value: u64,
+    ) -> Result<(), halo_tables::TableFullError> {
+        if self.remove_exact(key.as_bytes()).is_none() && self.entries.len() >= self.capacity {
+            return Err(halo_tables::TableFullError);
+        }
+        self.insert(TcamEntry::exact(key.as_bytes(), 0, value))
+            .map_err(|_| halo_tables::TableFullError)
+    }
+
+    fn remove(
+        &mut self,
+        _mem: &mut halo_mem::SimMemory,
+        key: &halo_tables::FlowKey,
+    ) -> Option<u64> {
+        self.remove_exact(key.as_bytes())
+    }
+
+    fn lookup_traced(
+        &self,
+        _mem: &mut halo_mem::SimMemory,
+        key: &halo_tables::FlowKey,
+        _software_locking: bool,
+    ) -> halo_tables::LookupTrace {
+        halo_tables::LookupTrace {
+            result: self.match_key(key.as_bytes()),
+            steps: Vec::new(),
+        }
+    }
+
+    fn warm_lines(&self) -> Vec<halo_mem::Addr> {
+        Vec::new()
+    }
 }
 
 /// An SRAM-emulated TCAM (Z-TCAM style, [75–77]): the rule set is
@@ -376,6 +454,34 @@ mod tests {
         t.insert(TcamEntry::exact(&[2], 0, 42)).unwrap();
         assert_eq!(t.remove_action(42), 2);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tcam_is_a_flow_table() {
+        use halo_tables::{FlowKey, FlowTable};
+        let mut mem = halo_mem::SimMemory::new();
+        let mut t = TcamTable::new(4, 4);
+        let k = FlowKey::synthetic(7, 13);
+        let dyn_probe = |t: &TcamTable, mem: &mut halo_mem::SimMemory, k: &FlowKey| {
+            let dt: &dyn FlowTable = t;
+            dt.lookup_traced(mem, k, true)
+        };
+        assert_eq!(dyn_probe(&t, &mut mem, &k).result, None);
+        FlowTable::insert(&mut t, &mut mem, &k, 11).unwrap();
+        // Update in place: no second entry, new value.
+        FlowTable::insert(&mut t, &mut mem, &k, 12).unwrap();
+        assert_eq!(TcamTable::len(&t), 1);
+        let tr = dyn_probe(&t, &mut mem, &k);
+        assert_eq!(tr.result, Some(12));
+        assert!(tr.steps.is_empty(), "TCAM is not in simulated memory");
+        assert_eq!(t.lookups(), 0, "trait probes must not count energy");
+        assert_eq!(FlowTable::remove(&mut t, &mut mem, &k), Some(12));
+        assert!(t.is_empty());
+        // Capacity still enforced for distinct keys.
+        for id in 0..4u64 {
+            FlowTable::insert(&mut t, &mut mem, &FlowKey::synthetic(id, 13), id).unwrap();
+        }
+        assert!(FlowTable::insert(&mut t, &mut mem, &FlowKey::synthetic(9, 13), 9).is_err());
     }
 
     #[test]

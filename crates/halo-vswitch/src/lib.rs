@@ -32,7 +32,7 @@
 mod multicore;
 mod pipeline;
 
-pub use multicore::{MultiCoreDatapath, ScalingReport};
+pub use multicore::{MultiCoreConfig, MultiCoreDatapath, ScalingReport};
 pub use pipeline::{Breakdown, LookupBackend, SwitchConfig, SwitchCounters, VirtualSwitch};
 
 #[cfg(test)]
@@ -90,6 +90,23 @@ mod tests {
         assert_eq!(vs.counters().emc_hits, 0);
         let (_, _t2) = vs.process_packet(&mut sys, None, &pkt, t1);
         assert_eq!(vs.counters().emc_hits, 1, "second packet must hit EMC");
+    }
+
+    /// With promotion disabled, repeat packets keep walking MegaFlow —
+    /// the flag must gate the single-core path exactly like the
+    /// multi-core one.
+    #[test]
+    fn emc_promotion_flag_gates_the_pipeline() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let mut cfg = SwitchConfig::typical(5, LookupBackend::Software);
+        cfg.emc_promotion = false;
+        let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+        let pkt = PacketHeader::synthetic(3);
+        vs.install_flow(&mut sys, &pkt.miniflow(), 3, 0, 9).unwrap();
+        let (_, t1) = vs.process_packet(&mut sys, None, &pkt, Cycle(0));
+        let _ = vs.process_packet(&mut sys, None, &pkt, t1);
+        assert_eq!(vs.counters().emc_hits, 0, "promotion off: EMC stays empty");
+        assert_eq!(vs.counters().megaflow_hits, 2);
     }
 
     #[test]

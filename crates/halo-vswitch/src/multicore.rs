@@ -3,26 +3,69 @@
 //! coherence traffic, software locking) while keeping per-core EMCs,
 //! exactly like OVS-DPDK PMD threads.
 //!
+//! Each PMD thread is one [`DatapathCore`] — the same EMC → MegaFlow →
+//! backend-dispatch stage the single-core switch runs — so the two
+//! datapaths cannot drift apart behaviorally. Per-core EMC probes
+//! always run in software (they are tiny and private); only the shared
+//! MegaFlow search is offloaded to HALO.
+//!
 //! Used by the scalability experiment: aggregate classification
 //! throughput as the datapath grows from 1 to 16 cores, software vs
 //! HALO lookups, with optional rule churn from a revalidator thread.
 
 use halo_accel::HaloEngine;
 use halo_classify::{distinct_masks, Emc, PacketHeader, SearchMode, TupleSpace};
-use halo_cpu::{build_sw_lookup, CoreModel, Scratch};
-use halo_mem::{CoreId, MemorySystem};
-use halo_sim::{Cycle, Cycles, SplitMix64};
+use halo_datapath::{DatapathCore, LookupExecutor, NbRegion};
+use halo_mem::{CoreId, MemorySystem, CACHE_LINE};
+use halo_sim::{Cycle, SplitMix64};
 use halo_tables::{hash_key, SEED_PRIMARY};
 
 use crate::pipeline::LookupBackend;
 
-/// One PMD (poll-mode-driver) thread's private state.
+/// Configuration of a multi-core datapath.
+#[derive(Debug, Clone)]
+pub struct MultiCoreConfig {
+    /// PMD (poll-mode-driver) threads.
+    pub cores: usize,
+    /// Shared MegaFlow tuples.
+    pub tuples: usize,
+    /// Flow rules spread across the tuples.
+    pub flows: usize,
+    /// Backend for the shared MegaFlow search (per-core EMC probes
+    /// always run in software).
+    pub backend: LookupBackend,
+    /// Seed of the packet-arrival stream.
+    pub seed: u64,
+    /// Promote MegaFlow hits into the per-core EMC (OVS behaviour;
+    /// on by default, matching the single-core switch).
+    pub emc_promotion: bool,
+}
+
+impl MultiCoreConfig {
+    /// The standard configuration used by [`MultiCoreDatapath::new`].
+    #[must_use]
+    pub fn new(
+        cores: usize,
+        tuples: usize,
+        flows: usize,
+        backend: LookupBackend,
+        seed: u64,
+    ) -> Self {
+        MultiCoreConfig {
+            cores,
+            tuples,
+            flows,
+            backend,
+            seed,
+            emc_promotion: true,
+        }
+    }
+}
+
+/// One PMD thread's private state: its datapath core plus bookkeeping.
 #[derive(Debug)]
 struct PmdThread {
-    core: CoreId,
-    core_model: CoreModel,
-    scratch: Scratch,
-    emc: Emc,
+    dp: DatapathCore,
     clock: Cycle,
     packets: u64,
 }
@@ -45,10 +88,8 @@ struct PmdThread {
 pub struct MultiCoreDatapath {
     pmds: Vec<PmdThread>,
     megaflow: TupleSpace,
-    backend: LookupBackend,
     flows: u64,
     rng: SplitMix64,
-    nb_dest: halo_mem::Addr,
 }
 
 /// Aggregate result of a multi-core run.
@@ -92,6 +133,26 @@ impl MultiCoreDatapath {
         backend: LookupBackend,
         seed: u64,
     ) -> Self {
+        Self::with_config(
+            sys,
+            MultiCoreConfig::new(cores, tuples, flows, backend, seed),
+        )
+    }
+
+    /// Builds a datapath from a full [`MultiCoreConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` exceeds the machine's core count.
+    pub fn with_config(sys: &mut MemorySystem, cfg: MultiCoreConfig) -> Self {
+        let MultiCoreConfig {
+            cores,
+            tuples,
+            flows,
+            backend,
+            seed,
+            emc_promotion,
+        } = cfg;
         assert!(cores <= sys.config().cores, "not enough cores");
         let mut megaflow = TupleSpace::new(
             sys.data_mut(),
@@ -110,30 +171,48 @@ impl MultiCoreDatapath {
                 sys.warm_llc(a);
             }
         }
-        let pmds = (0..cores)
+        let parts: Vec<(LookupExecutor, Emc)> = (0..cores)
             .map(|c| {
                 let core = CoreId(c);
-                let scratch = Scratch::new(sys);
-                scratch.warm(sys, core);
+                let exec = LookupExecutor::new(sys, core, backend);
+                exec.warm_scratch(sys);
                 let emc = Emc::new(sys.data_mut(), 1024);
+                (exec, emc)
+            })
+            .collect();
+        // One NB destination block, carved into per-core regions each
+        // sized for the full tuple count, so concurrent lookups never
+        // alias — neither across cores nor across a core's own probes.
+        let lines_per_core = NbRegion::lines_for(tuples);
+        let nb_base = sys
+            .data_mut()
+            .alloc_lines(lines_per_core * CACHE_LINE * cores as u64);
+        let slots_per_core = (lines_per_core as usize) * NbRegion::SLOTS_PER_LINE;
+        let pmds = parts
+            .into_iter()
+            .enumerate()
+            .map(|(p, (exec, emc))| {
+                let nb = NbRegion::from_raw(
+                    nb_base + p as u64 * lines_per_core * CACHE_LINE,
+                    slots_per_core,
+                );
                 PmdThread {
-                    core,
-                    core_model: CoreModel::new(core, sys.config()),
-                    scratch,
-                    emc,
+                    dp: DatapathCore::new(
+                        exec.with_nb_region(nb),
+                        Some(emc),
+                        LookupBackend::Software,
+                        emc_promotion,
+                    ),
                     clock: Cycle::ZERO,
                     packets: 0,
                 }
             })
             .collect();
-        let nb_dest = sys.data_mut().alloc_lines(64 * cores as u64);
         MultiCoreDatapath {
             pmds,
             megaflow,
-            backend,
             flows: flows as u64,
             rng: SplitMix64::new(seed),
-            nb_dest,
         }
     }
 
@@ -153,75 +232,11 @@ impl MultiCoreDatapath {
     ) {
         let key = PacketHeader::synthetic(flow).miniflow();
         let pmd = &mut self.pmds[p];
-        let t0 = pmd.clock;
         pmd.packets += 1;
-
-        // Per-core EMC probe (always software: it is tiny and private).
-        let emc_trace = pmd.emc.lookup_traced(sys.data_mut(), &key);
-        let prog = build_sw_lookup(&emc_trace, &mut pmd.scratch, None);
-        let mut t = pmd.core_model.run(&prog, sys, t0).finish;
-        if emc_trace.result.is_some() {
-            pmd.clock = t;
-            return;
-        }
-
-        // Shared MegaFlow search.
-        let (m, probes) = self.megaflow.classify_traced(
-            sys.data_mut(),
-            &key,
-            self.backend == LookupBackend::Software,
-        );
-        match self.backend {
-            LookupBackend::Software => {
-                for (_, tr) in &probes {
-                    let prog = build_sw_lookup(tr, &mut pmd.scratch, None);
-                    t = pmd.core_model.run(&prog, sys, t).finish;
-                }
-            }
-            LookupBackend::HaloBlocking | LookupBackend::HaloNonBlocking => {
-                let engine = engine.expect("HALO backend needs an engine");
-                let blocking = self.backend == LookupBackend::HaloBlocking;
-                let mut done = t;
-                for (slot, (i, tr)) in probes.iter().enumerate() {
-                    let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
-                    let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
-                    let dest = if blocking {
-                        None
-                    } else {
-                        Some(self.nb_dest + (p as u64) * 64 + (slot as u64 % 8) * 8)
-                    };
-                    let out = engine.dispatch(
-                        sys,
-                        pmd.core,
-                        table_addr,
-                        tr,
-                        h,
-                        None,
-                        dest,
-                        if blocking {
-                            done
-                        } else {
-                            t + Cycles(slot as u64)
-                        },
-                    );
-                    if blocking {
-                        done = out.complete + Cycles(4);
-                    } else {
-                        done = done.max(out.complete);
-                    }
-                }
-                if !blocking && !probes.is_empty() {
-                    let (_, snap) =
-                        engine.snapshot_read(sys, pmd.core, self.nb_dest + (p as u64) * 64, done);
-                    done = snap;
-                }
-                t = done;
-            }
-        }
-        if let Some(hit) = m {
-            pmd.emc.insert(sys.data_mut(), &key, hit.action);
-        }
-        pmd.clock = t;
+        let out = pmd
+            .dp
+            .classify(sys, engine, &self.megaflow, &key, None, pmd.clock);
+        pmd.clock = out.done;
     }
 
     /// Runs `packets` packets spread across the PMDs by flow hash (RSS),
@@ -342,5 +357,53 @@ mod tests {
         );
         // Writers slow the datapath down (coherence + lock retries).
         assert!(churny.throughput_per_kcy <= calm.throughput_per_kcy * 1.05);
+    }
+
+    /// The multi-core datapath honors the EMC promotion policy — it
+    /// used to promote unconditionally, silently diverging from the
+    /// single-core switch whenever promotion was disabled.
+    #[test]
+    fn emc_promotion_flag_gates_the_multicore_path() {
+        let run = |promote: bool| {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut cfg = MultiCoreConfig::new(4, 5, 2_000, LookupBackend::Software, 42);
+            cfg.emc_promotion = promote;
+            let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+            dp.run(&mut sys, None, 600, 0)
+        };
+        let promoted = run(true);
+        let unpromoted = run(false);
+        // Without promotion every repeat packet walks MegaFlow again,
+        // so the run must take strictly longer.
+        assert!(
+            unpromoted.cycles > promoted.cycles,
+            "promotion off ({}) must cost more cycles than on ({})",
+            unpromoted.cycles,
+            promoted.cycles
+        );
+        // The default config keeps the historical always-promote shape.
+        assert!(MultiCoreConfig::new(1, 1, 1, LookupBackend::Software, 0).emc_promotion);
+    }
+
+    /// Non-blocking destination slots must not alias when a search can
+    /// probe more than eight tuples (one cache line's worth of result
+    /// words). The old hard-coded `slot % 8` arithmetic made probe 8+
+    /// overwrite probe 0's destination word.
+    #[test]
+    fn nb_dest_region_survives_more_than_eight_tuples() {
+        let tuples = 12;
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        let mut dp = MultiCoreDatapath::new(
+            &mut sys,
+            2,
+            tuples,
+            2_400,
+            LookupBackend::HaloNonBlocking,
+            9,
+        );
+        let report = dp.run(&mut sys, Some(&mut engine), 400, 0);
+        assert_eq!(report.packets, 400);
+        assert!(report.throughput_per_kcy > 0.0);
     }
 }

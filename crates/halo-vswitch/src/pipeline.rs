@@ -2,28 +2,20 @@
 //! EMC → MegaFlow → (OpenFlow), with per-phase cycle accounting.
 //!
 //! This is the workload of the paper's characterization (§3, Fig. 3) and
-//! the system HALO plugs into. Flow classification (EMC + MegaFlow) can
-//! run in three backends: software on the core, HALO blocking
-//! (`LOOKUP_B`) or HALO non-blocking (`LOOKUP_NB` + `SNAPSHOT_READ`).
+//! the system HALO plugs into. The classification stage itself (EMC +
+//! MegaFlow + backend dispatch) is the shared [`DatapathCore`] from
+//! `halo-datapath`; this module wraps it with packet IO, the pipeline
+//! phase accounting, and the OpenFlow slow path.
 
 use halo_accel::HaloEngine;
 use halo_classify::{Emc, PacketHeader, RuleMatch, SearchMode, TupleSpace, WildcardMask};
-use halo_cpu::{build_sw_lookup, CoreModel, Program, Scratch};
+use halo_cpu::Program;
+use halo_datapath::{DatapathCore, LookupExecutor, NbRegion};
 use halo_mem::{Addr, CoreId, MemorySystem, CACHE_LINE};
 use halo_sim::{Cycle, Cycles};
-use halo_tables::{hash_key, FlowKey, SEED_PRIMARY};
+use halo_tables::FlowKey;
 
-/// How flow-classification lookups execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LookupBackend {
-    /// DPDK-style software lookups on the core (the baseline).
-    Software,
-    /// HALO `LOOKUP_B`: the core blocks per lookup.
-    HaloBlocking,
-    /// HALO `LOOKUP_NB`: all tuple lookups issued at once, results
-    /// polled with one `SNAPSHOT_READ`.
-    HaloNonBlocking,
-}
+pub use halo_datapath::LookupBackend;
 
 /// Per-phase cycle totals (the Fig. 3 breakdown).
 #[derive(Debug, Clone, Copy, Default)]
@@ -182,31 +174,25 @@ impl PacketRing {
 /// ```
 #[derive(Debug)]
 pub struct VirtualSwitch {
-    core: CoreId,
-    core_model: CoreModel,
-    scratch: Scratch,
-    emc: Option<Emc>,
+    dp: DatapathCore,
     megaflow: TupleSpace,
     openflow: Option<TupleSpace>,
     ring: PacketRing,
-    backend: LookupBackend,
-    emc_promotion: bool,
     breakdown: Breakdown,
     counters: SwitchCounters,
-    /// Destination lines for non-blocking lookups (one line, 8 results).
-    nb_dest: Addr,
 }
 
 impl VirtualSwitch {
     /// Builds the switch and its tables in `sys`'s memory.
     pub fn new(sys: &mut MemorySystem, core: CoreId, cfg: SwitchConfig) -> Self {
-        let scratch = Scratch::new(sys);
-        scratch.warm(sys, core);
+        let exec = LookupExecutor::new(sys, core, cfg.backend);
+        exec.warm_scratch(sys);
         let emc = if cfg.emc_entries > 0 {
             Some(Emc::new(sys.data_mut(), cfg.emc_entries))
         } else {
             None
         };
+        let masks = cfg.megaflow_masks.len();
         let masks_copy = cfg.megaflow_masks.clone();
         let megaflow = TupleSpace::new(
             sys.data_mut(),
@@ -225,20 +211,17 @@ impl VirtualSwitch {
             None
         };
         let ring = PacketRing::new(sys);
-        let nb_dest = sys.data_mut().alloc_lines(CACHE_LINE);
+        // NB destination lines, sized so a search probing every mask
+        // still gets one result word per in-flight lookup.
+        let nb = NbRegion::allocate(sys.data_mut(), masks);
+        let exec = exec.with_nb_region(nb);
         VirtualSwitch {
-            core,
-            core_model: CoreModel::new(core, sys.config()),
-            scratch,
-            emc,
+            dp: DatapathCore::new(exec, emc, cfg.backend, cfg.emc_promotion),
             megaflow,
             openflow,
             ring,
-            backend: cfg.backend,
-            emc_promotion: cfg.emc_promotion,
             breakdown: Breakdown::default(),
             counters: SwitchCounters::default(),
-            nb_dest,
         }
     }
 
@@ -315,15 +298,13 @@ impl VirtualSwitch {
     /// hottest flows; without this, short measurement windows see only
     /// cold-start misses).
     pub fn prime_emc(&mut self, sys: &mut MemorySystem, key: &FlowKey, action: u64) {
-        if let Some(emc) = &mut self.emc {
-            emc.insert(sys.data_mut(), key, action);
-        }
+        self.dp.prime(sys.data_mut(), key, action);
     }
 
     /// Pre-loads all switch tables into the LLC (warm start, as after
     /// the 10 K warm-up lookups of §5.2).
     pub fn warm_tables(&self, sys: &mut MemorySystem) {
-        if let Some(emc) = &self.emc {
+        if let Some(emc) = self.dp.emc() {
             for a in emc.all_lines().collect::<Vec<_>>() {
                 sys.warm_llc(a);
             }
@@ -349,9 +330,10 @@ impl VirtualSwitch {
         for &a in loads {
             p.load(a, &[]);
         }
+        let scratch = self.dp.exec_mut().scratch_mut();
         let n_loads = (uops / 5).saturating_sub(loads.len());
         for _ in 0..n_loads {
-            p.load(self.scratch.next(), &[]);
+            p.load(scratch.next(), &[]);
         }
         for _ in 0..(uops - uops / 5 - loads.len().min(uops)) {
             p.compute(1, &[]);
@@ -369,7 +351,7 @@ impl VirtualSwitch {
     pub fn process_packet(
         &mut self,
         sys: &mut MemorySystem,
-        mut engine: Option<&mut HaloEngine>,
+        engine: Option<&mut HaloEngine>,
         header: &PacketHeader,
         at: Cycle,
     ) -> (Option<u64>, Cycle) {
@@ -379,7 +361,7 @@ impl VirtualSwitch {
         // --- Packet IO (RX + queueing): DDIO delivery + driver work. ---
         let buf = self.ring.receive(sys, header);
         let io_prog = self.phase_program(&[buf], 440);
-        let r = self.core_model.run(&io_prog, sys, at);
+        let r = self.dp.exec_mut().run(&io_prog, sys, at);
         let mut t = r.finish;
         self.breakdown.io += r.duration();
         if sys.trace_enabled() {
@@ -389,113 +371,36 @@ impl VirtualSwitch {
         // --- Pre-processing: miniflow extraction over the header. ------
         let pre_start = t;
         let pre_prog = self.phase_program(&[buf], 170);
-        let r = self.core_model.run(&pre_prog, sys, t);
+        let r = self.dp.exec_mut().run(&pre_prog, sys, t);
         t = r.finish;
         self.breakdown.preproc += r.duration();
         if sys.trace_enabled() {
             sys.trace_span("vswitch", "preproc", pre_start, t);
         }
 
-        // --- EMC. -------------------------------------------------------
-        let mut action: Option<u64> = None;
-        if let Some(emc) = &self.emc {
-            let trace = emc.lookup_traced(sys.data_mut(), &key);
-            let (res, done) = match self.backend {
-                LookupBackend::Software => {
-                    let prog = build_sw_lookup(&trace, &mut self.scratch, Some(buf));
-                    let r = self.core_model.run(&prog, sys, t);
-                    (trace.result, r.finish)
-                }
-                LookupBackend::HaloBlocking | LookupBackend::HaloNonBlocking => {
-                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
-                    let h = hash_key(&key, SEED_PRIMARY);
-                    let out =
-                        engine.dispatch(sys, self.core, emc.base_addr(), &trace, h, None, None, t);
-                    (out.result, out.complete + Cycles(4))
-                }
-            };
+        // --- Classification: EMC → MegaFlow via the shared core. --------
+        let out = self
+            .dp
+            .classify(sys, engine, &self.megaflow, &key, Some(buf), t);
+        let mut action = out.action;
+        if let Some(done) = out.emc_done {
             self.breakdown.emc += done - t;
             if sys.trace_enabled() {
                 sys.trace_span("vswitch", "emc", t, done);
             }
             t = done;
-            if let Some(v) = res {
-                self.counters.emc_hits += 1;
-                action = Some(v);
-            }
         }
-
-        // --- MegaFlow tuple space search. --------------------------------
-        if action.is_none() {
-            let (m, probes) = self.megaflow.classify_traced(
-                sys.data_mut(),
-                &key,
-                self.backend == LookupBackend::Software,
-            );
-            let done = match self.backend {
-                LookupBackend::Software => {
-                    let mut tt = t;
-                    for (_, tr) in &probes {
-                        let prog = build_sw_lookup(tr, &mut self.scratch, None);
-                        let r = self.core_model.run(&prog, sys, tt);
-                        tt = r.finish;
-                    }
-                    tt
-                }
-                LookupBackend::HaloBlocking => {
-                    let engine = engine.as_deref_mut().expect("HALO backend needs an engine");
-                    let base_hash = hash_key(&key, SEED_PRIMARY);
-                    let megaflow = &self.megaflow;
-                    engine.dispatch_burst(
-                        sys,
-                        self.core,
-                        probes.iter().map(|(i, tr)| {
-                            let table_addr = megaflow.tuples()[*i].table().meta_addr();
-                            (table_addr, tr, base_hash ^ (*i as u64))
-                        }),
-                        Cycles(4),
-                        t,
-                    )
-                }
-                LookupBackend::HaloNonBlocking => {
-                    let engine = engine.expect("HALO backend needs an engine");
-                    // Issue every probed tuple at once; results land in
-                    // distinct words of one destination line.
-                    let mut finish = t;
-                    for (slot, (i, tr)) in probes.iter().enumerate() {
-                        let table_addr = self.megaflow.tuples()[*i].table().meta_addr();
-                        let h = hash_key(&key, SEED_PRIMARY) ^ (*i as u64);
-                        let dest = self.nb_dest + (slot as u64 % 8) * 8;
-                        let out = engine.dispatch(
-                            sys,
-                            self.core,
-                            table_addr,
-                            tr,
-                            h,
-                            None,
-                            Some(dest),
-                            t + Cycles(slot as u64), // issue one per cycle
-                        );
-                        finish = finish.max(out.complete);
-                    }
-                    // One SNAPSHOT_READ to collect the cache line.
-                    let (_, snap_done) = engine.snapshot_read(sys, self.core, self.nb_dest, finish);
-                    snap_done
-                }
-            };
+        if out.emc_hit {
+            self.counters.emc_hits += 1;
+        } else {
+            let done = out.megaflow_done.expect("MegaFlow searched on EMC miss");
             self.breakdown.megaflow += done - t;
             if sys.trace_enabled() {
                 sys.trace_span("vswitch", "megaflow", t, done);
             }
             t = done;
-            if let Some(hit) = m {
+            if out.megaflow.is_some() {
                 self.counters.megaflow_hits += 1;
-                action = Some(hit.action);
-                if self.emc_promotion {
-                    if let Some(emc) = &mut self.emc {
-                        emc.insert(sys.data_mut(), &key, hit.action);
-                    }
-                }
             } else if let Some(openflow) = &self.openflow {
                 // --- OpenFlow slow path (upcall): a priority search over
                 // every tuple, then install the winning rule into the
@@ -503,15 +408,13 @@ impl VirtualSwitch {
                 let (of_match, of_probes) = openflow.classify_traced(
                     sys.data_mut(),
                     &key,
-                    self.backend == LookupBackend::Software,
+                    self.dp.exec().backend() == LookupBackend::Software,
                 );
                 let mut tt = t;
                 // The slow path always runs in software (OVS upcalls are
                 // handler-thread work), plus a fixed rule-install cost.
                 for (_, tr) in &of_probes {
-                    let prog = build_sw_lookup(tr, &mut self.scratch, None);
-                    let r = self.core_model.run(&prog, sys, tt);
-                    tt = r.finish;
+                    tt = self.dp.exec_mut().run_sw(sys, tr, None, tt);
                 }
                 if let Some(hit) = of_match {
                     self.counters.openflow_hits += 1;
@@ -523,11 +426,7 @@ impl VirtualSwitch {
                         self.megaflow
                             .insert_rule(sys.data_mut(), hit.tuple, &key, 0, hit.action);
                     tt += Cycles(UPCALL_INSTALL_CYCLES);
-                    if self.emc_promotion {
-                        if let Some(emc) = &mut self.emc {
-                            emc.insert(sys.data_mut(), &key, hit.action);
-                        }
-                    }
+                    self.dp.promote(sys.data_mut(), &key, hit.action);
                 } else {
                     self.counters.misses += 1;
                 }
@@ -544,7 +443,7 @@ impl VirtualSwitch {
         // --- Action execution + bookkeeping. ------------------------------
         let other_start = t;
         let other_prog = self.phase_program(&[], 140);
-        let r = self.core_model.run(&other_prog, sys, t);
+        let r = self.dp.exec_mut().run(&other_prog, sys, t);
         self.breakdown.other += r.duration();
         t = r.finish;
         if sys.trace_enabled() {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Golden-output harness for behavior-preserving datapath changes:
+# regenerates the quick figure set at its fixed seeds and compares the
+# sha256 digest of every output against the committed GOLDEN.sha256.
+#
+#   scripts/golden.sh            # verify against GOLDEN.sha256
+#   scripts/golden.sh --update   # rewrite GOLDEN.sha256 from this tree
+#
+# The figures are deterministic in their seeds and byte-identical at
+# any --jobs level (tests/hotpath.rs pins this), so digest equality is
+# a meaningful "the datapath still computes exactly the same results"
+# check, not a flaky snapshot. A refactor that is supposed to preserve
+# behavior must leave GOLDEN.sha256 untouched; a change that
+# intentionally shifts results must regenerate it with --update and
+# explain the delta in its commit message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIGS=(fig3 fig9 fig10 fig11 scaling ablation)
+mode="verify"
+[[ "${1:-}" == "--update" ]] && mode="update"
+
+echo "==> cargo build --release -p halo-bench"
+cargo build --release -p halo-bench
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+for fig in "${FIGS[@]}"; do
+    echo "==> figures --quick --jobs 2 $fig"
+    ./target/release/figures --quick --jobs 2 "$fig" > "$out/$fig.txt"
+done
+
+if [[ "$mode" == "update" ]]; then
+    (cd "$out" && sha256sum "${FIGS[@]/%/.txt}") > GOLDEN.sha256
+    echo "golden: wrote $(wc -l < GOLDEN.sha256) digests to GOLDEN.sha256"
+else
+    cp GOLDEN.sha256 "$out/"
+    (cd "$out" && sha256sum -c GOLDEN.sha256)
+    echo "golden: all quick figure outputs match GOLDEN.sha256"
+fi

@@ -22,6 +22,11 @@
 //! * [`tcam`] — TCAM and SRAM-TCAM baselines.
 //! * [`classify`] — EMC, MegaFlow and OpenFlow tuple space search, and
 //!   the §4.8 tree-index extension.
+//! * [`datapath`] — the unified classification datapath: the
+//!   [`LookupBackend`](datapath::LookupBackend) dispatch modes, the
+//!   per-core [`LookupExecutor`](datapath::LookupExecutor), and the
+//!   EMC → MegaFlow [`DatapathCore`](datapath::DatapathCore) stage every
+//!   frontend drives.
 //! * [`kvstore`] — a MemC3-style key-value store over the accelerated
 //!   cuckoo index (§4.8).
 //! * [`vswitch`] — the OVS-like layered datapath with per-packet cycle
@@ -60,6 +65,7 @@ pub use halo_accel as accel;
 pub use halo_check as check;
 pub use halo_classify as classify;
 pub use halo_cpu as cpu;
+pub use halo_datapath as datapath;
 pub use halo_kvstore as kvstore;
 pub use halo_mem as mem;
 pub use halo_nf as nf;

@@ -12,7 +12,9 @@ use halo_nfv::check::audit_system;
 use halo_nfv::classify::PacketHeader;
 use halo_nfv::mem::{AccessKind, AccessOutcome, Addr, CoreId, MachineConfig, MemorySystem};
 use halo_nfv::sim::{Cycle, SplitMix64};
-use halo_nfv::vswitch::{LookupBackend, SwitchConfig, VirtualSwitch};
+use halo_nfv::vswitch::{
+    LookupBackend, MultiCoreConfig, MultiCoreDatapath, ScalingReport, SwitchConfig, VirtualSwitch,
+};
 
 /// A seeded mixed op stream over a working set large enough to exercise
 /// L1 hits, LLC hits, DRAM fills, and capacity evictions.
@@ -158,6 +160,74 @@ fn process_burst_matches_scalar_software() {
 #[test]
 fn process_burst_matches_scalar_halo_blocking() {
     burst_equivalence(LookupBackend::HaloBlocking);
+}
+
+/// `process_burst` over the HALO non-blocking backend (`LOOKUP_NB`
+/// dispatch plus `SNAPSHOT_READ` collection) reproduces the scalar loop
+/// exactly.
+#[test]
+fn process_burst_matches_scalar_halo_nonblocking() {
+    burst_equivalence(LookupBackend::HaloNonBlocking);
+}
+
+fn multicore_run(
+    backend: LookupBackend,
+    tuples: usize,
+) -> (ScalingReport, Vec<u64>, Vec<(String, u64)>) {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let cfg = MultiCoreConfig::new(4, tuples, 2_000, backend, 0xD1_5C0);
+    let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+    let e = match backend {
+        LookupBackend::Software => None,
+        _ => Some(&mut engine),
+    };
+    let report = dp.run(&mut sys, e, 500, 16);
+    let per_core = dp.per_core_packets();
+    (report, per_core, collect_counters(&sys))
+}
+
+/// Two identically-configured `MultiCoreDatapath` runs must agree on
+/// every observable — per-core packet spread, aggregate report, and the
+/// full memory-system statistics — for every backend, including a
+/// tuple-space wide enough (12 masks) that the non-blocking destination
+/// region spans multiple cache lines per core.
+#[test]
+fn multicore_runs_are_deterministic_for_every_backend() {
+    for backend in [
+        LookupBackend::Software,
+        LookupBackend::HaloBlocking,
+        LookupBackend::HaloNonBlocking,
+    ] {
+        let (ra, pa, ca) = multicore_run(backend, 12);
+        let (rb, pb, cb) = multicore_run(backend, 12);
+        assert_eq!(
+            (ra.cores, ra.packets, ra.cycles, ra.dirty_transfers),
+            (rb.cores, rb.packets, rb.cycles, rb.dirty_transfers),
+            "{backend:?}: scaling report diverged between identical runs"
+        );
+        assert_eq!(pa, pb, "{backend:?}: per-core packet spread diverged");
+        assert_eq!(ca, cb, "{backend:?}: memory statistics diverged");
+        assert_eq!(pa.iter().sum::<u64>(), 500, "{backend:?}: packets lost");
+    }
+}
+
+/// The scaling sweep (MultiCoreDatapath over software and HALO
+/// non-blocking backends, with and without churn) must serialize
+/// byte-identically whether run sequentially or with 4 parallel
+/// workers: parallelism is a scheduling detail, never a result.
+#[test]
+fn scaling_sweep_identical_at_jobs_1_and_4() {
+    use halo_bench::experiments::scaling;
+    use halo_nfv::sim::SweepRunner;
+
+    let seq = scaling::run_with(true, &SweepRunner::new("scaling", 1).quiet());
+    let par = scaling::run_with(true, &SweepRunner::new("scaling", 4).quiet());
+    assert_eq!(
+        scaling::table(&seq).to_csv(),
+        scaling::table(&par).to_csv(),
+        "jobs=1 and jobs=4 scaling sweeps diverged"
+    );
 }
 
 /// Churns the rewritten open-addressed hardware-lock table through the
