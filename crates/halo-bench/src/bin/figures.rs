@@ -1,7 +1,7 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|bench-sweep|bench-hotpath|trace|all]
+//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|ablation-backends|bench-sweep|bench-hotpath|trace|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
@@ -58,7 +58,7 @@ fn main() {
         // before any sweep spawns (single-threaded here, hence safe).
         std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "bench-hotpath",
         "trace",
         "all",
@@ -73,6 +73,7 @@ fn main() {
         "table4",
         "fig13",
         "scaling",
+        "ablation-backends",
         "extensions",
         "bench-sweep",
     ];
@@ -147,6 +148,29 @@ fn main() {
             );
             assert!(r.identical, "{}: parallel output diverged", r.experiment);
         }
+        // Speedup is only a meaningful assertion when the host can
+        // actually run workers side by side: shared CI runners often
+        // expose a single core, where ~1.0x is the correct outcome,
+        // not a failure. Gate on both what the host offers and what
+        // the sweep runner actually achieved.
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let observed = halo_sim::observed_parallelism();
+        if host >= 2 && jobs >= 2 && observed >= 2 {
+            let best = rows
+                .iter()
+                .map(halo_bench::sweep_bench::SweepBenchRow::speedup)
+                .fold(0.0, f64::max);
+            assert!(
+                best > 1.05,
+                "host offers {host} cores and the runner overlapped {observed} points, \
+                 yet the best sweep speedup was only {best:.2}x"
+            );
+        } else {
+            eprintln!(
+                "bench-sweep: skipping speedup assertion \
+                 (host parallelism {host}, jobs {jobs}, observed {observed}; ~1.0x expected)"
+            );
+        }
         let json = halo_bench::sweep_bench::to_json(&rows, jobs);
         std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
         println!("{json}");
@@ -200,6 +224,13 @@ fn main() {
     if want("scaling") {
         println!("## Scaling — multi-core datapath throughput\n");
         println!("{}", ex::scaling::table(&ex::scaling::run(quick)));
+    }
+    if want("ablation-backends") {
+        let cells = ex::ablation_backends::run(quick);
+        println!("## Ablation — exact-match backend x lookup strategy\n");
+        println!("{}", ex::ablation_backends::table(&cells));
+        let json = ex::ablation_backends::to_json(&cells, quick);
+        std::fs::write("ABLATION_backends.json", &json).expect("write ABLATION_backends.json");
     }
     if want("extensions") {
         println!(

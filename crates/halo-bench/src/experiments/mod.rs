@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus shared machinery.
 
 pub mod ablation;
+pub mod ablation_backends;
 pub mod extensions;
 pub mod fig10;
 pub mod fig11;

@@ -5,16 +5,124 @@
 //! stalls, and preempts two-phase cuckoo moves mid-displacement with
 //! lookups and evictions — then requires that the differential oracle
 //! still agrees and the invariant auditor finds nothing.
+//!
+//! The schedule is generic over [`FaultTarget`], so the same adversary
+//! drives the baseline [`CuckooTable`], the presence-filtered
+//! [`CuckooPlusPlusTable`], and the CBF-steered [`EmomaTable`] — each
+//! with its own structure-specific auditor.
 
 use halo_accel::{AcceleratorConfig, HaloEngine};
-use halo_mem::{Addr, CoreId, MachineConfig, MemorySystem};
+use halo_mem::{Addr, CoreId, MachineConfig, MemorySystem, SimMemory};
 use halo_sim::{Cycle, Cycles, SplitMix64};
-use halo_tables::{CuckooTable, FlowKey};
+use halo_tables::{CuckooPlusPlusTable, CuckooTable, EmomaTable, FlowKey, FlowTable};
 use std::collections::HashMap;
 
-use crate::audit::{audit_cuckoo, audit_system, audit_table_placement};
+use crate::audit::{
+    audit_cuckoo, audit_cuckoo_pp, audit_emoma, audit_system, audit_table_placement,
+};
 use crate::oracle::KEY_LEN;
 use crate::{audit_enabled, Violation};
+
+/// Which table implementation a fault-injection run targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultBackend {
+    /// The baseline DPDK-style [`CuckooTable`].
+    #[default]
+    Cuckoo,
+    /// [`CuckooPlusPlusTable`] with per-bucket presence filters.
+    CuckooPlusPlus,
+    /// [`EmomaTable`] with counting-Bloom-filter steering.
+    Emoma,
+}
+
+impl FaultBackend {
+    /// Every backend the injector can target.
+    #[must_use]
+    pub fn all() -> [FaultBackend; 3] {
+        [
+            FaultBackend::Cuckoo,
+            FaultBackend::CuckooPlusPlus,
+            FaultBackend::Emoma,
+        ]
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultBackend::Cuckoo => "cuckoo",
+            FaultBackend::CuckooPlusPlus => "cuckoo++",
+            FaultBackend::Emoma => "emoma",
+        }
+    }
+}
+
+/// A table the fault injector can adversarially drive: the [`FlowTable`]
+/// operations plus the backend's native two-phase move protocol and its
+/// structure-specific invariant auditor.
+pub trait FaultTarget: FlowTable {
+    /// Token representing a move between `begin` and `commit`.
+    type Pending;
+
+    /// Starts a two-phase move of `key` toward its alternative bucket;
+    /// `None` when the backend (legitimately) refuses.
+    fn fault_move_begin(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<Self::Pending>;
+
+    /// Completes a move started by
+    /// [`fault_move_begin`](Self::fault_move_begin).
+    fn fault_move_commit(&mut self, mem: &mut SimMemory, mv: Self::Pending);
+
+    /// The backend's structural auditor (empty on success).
+    fn audit(&self, mem: &mut SimMemory) -> Vec<Violation>;
+}
+
+impl FaultTarget for CuckooTable {
+    type Pending = halo_tables::PendingMove;
+
+    fn fault_move_begin(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<Self::Pending> {
+        self.cuckoo_move_begin(mem, key)
+    }
+
+    fn fault_move_commit(&mut self, mem: &mut SimMemory, mv: Self::Pending) {
+        self.cuckoo_move_commit(mem, mv);
+    }
+
+    fn audit(&self, mem: &mut SimMemory) -> Vec<Violation> {
+        audit_cuckoo(self, mem)
+    }
+}
+
+impl FaultTarget for CuckooPlusPlusTable {
+    type Pending = halo_tables::PendingMovePp;
+
+    fn fault_move_begin(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<Self::Pending> {
+        self.cuckoo_move_begin(mem, key)
+    }
+
+    fn fault_move_commit(&mut self, mem: &mut SimMemory, mv: Self::Pending) {
+        self.cuckoo_move_commit(mem, mv);
+    }
+
+    fn audit(&self, mem: &mut SimMemory) -> Vec<Violation> {
+        audit_cuckoo_pp(self, mem)
+    }
+}
+
+impl FaultTarget for EmomaTable {
+    type Pending = halo_tables::EmomaPendingMove;
+
+    fn fault_move_begin(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<Self::Pending> {
+        self.move_begin(mem, key)
+    }
+
+    fn fault_move_commit(&mut self, mem: &mut SimMemory, mv: Self::Pending) {
+        self.move_commit(mem, mv);
+    }
+
+    fn audit(&self, mem: &mut SimMemory) -> Vec<Violation> {
+        audit_emoma(self, mem)
+    }
+}
 
 /// Parameters of one fault-injection run. Everything is derived from
 /// `seed`, so a report is reproducible from its config alone.
@@ -32,8 +140,10 @@ pub struct FaultConfig {
     /// (against a scoreboard of depth 4, so bursts must stall).
     pub stall_burst: usize,
     /// Engine lookups run inside each preempted move window, between
-    /// `cuckoo_move_begin` and `cuckoo_move_commit`.
+    /// `fault_move_begin` and `fault_move_commit`.
     pub move_window: usize,
+    /// Table implementation under attack.
+    pub backend: FaultBackend,
 }
 
 impl Default for FaultConfig {
@@ -45,6 +155,7 @@ impl Default for FaultConfig {
             evict_chance: 0.2,
             stall_burst: 24,
             move_window: 4,
+            backend: FaultBackend::Cuckoo,
         }
     }
 }
@@ -70,7 +181,8 @@ fn key(k: u16) -> FlowKey {
     FlowKey::synthetic(u64::from(k), KEY_LEN)
 }
 
-/// Runs the adversarial schedule described by `cfg`.
+/// Runs the adversarial schedule described by `cfg` against the table
+/// implementation `cfg.backend` selects.
 ///
 /// # Errors
 ///
@@ -81,15 +193,35 @@ fn key(k: u16) -> FlowKey {
 /// Final-audit violations are returned in the report instead, so tests
 /// can assert on them explicitly.
 pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
-    let mut rng = SplitMix64::new(cfg.seed);
     let mut sys = MemorySystem::new(MachineConfig::small());
+    match cfg.backend {
+        FaultBackend::Cuckoo => {
+            let t = CuckooTable::create(sys.data_mut(), 1 << 9, KEY_LEN);
+            run_fault_schedule(cfg, sys, t)
+        }
+        FaultBackend::CuckooPlusPlus => {
+            let t = CuckooPlusPlusTable::create(sys.data_mut(), 1 << 9, KEY_LEN);
+            run_fault_schedule(cfg, sys, t)
+        }
+        FaultBackend::Emoma => {
+            let t = EmomaTable::create(sys.data_mut(), 1 << 9, KEY_LEN);
+            run_fault_schedule(cfg, sys, t)
+        }
+    }
+}
+
+fn run_fault_schedule<T: FaultTarget>(
+    cfg: &FaultConfig,
+    mut sys: MemorySystem,
+    mut t: T,
+) -> Result<FaultReport, String> {
+    let mut rng = SplitMix64::new(cfg.seed);
     let accel_cfg = AcceleratorConfig {
         scoreboard_depth: 4,
         ..AcceleratorConfig::default()
     };
     let mut engine = HaloEngine::new(&sys, accel_cfg);
-    let mut t = CuckooTable::create(sys.data_mut(), 1 << 9, KEY_LEN);
-    let table_lines: Vec<Addr> = t.all_lines().collect();
+    let table_lines: Vec<Addr> = t.warm_lines();
     let dest = sys.data_mut().alloc_lines(64);
     let mut model: HashMap<u16, u64> = HashMap::new();
     let mut now = Cycle(0);
@@ -115,10 +247,14 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
         match rng.below(10) {
             0..=2 => {
                 let v = rng.below(1 << 40);
-                if t.insert(sys.data_mut(), &key(k), v).is_err() {
-                    return Err(format!("step {i}: insert({k}) rejected with headroom"));
+                // Backends with placement constraints (EMOMA's cascade
+                // budget) may reject a fresh insert; the model skips it
+                // too. Updates of present keys must always succeed.
+                if t.insert(sys.data_mut(), &key(k), v).is_ok() {
+                    model.insert(k, v);
+                } else if model.contains_key(&k) {
+                    return Err(format!("step {i}: update of present key {k} rejected"));
                 }
-                model.insert(k, v);
             }
             3 => {
                 let got = t.remove(sys.data_mut(), &key(k));
@@ -156,7 +292,7 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
                 // committing. Only lookups may enter the window — the
                 // hardware lock bit is what serializes writers on real
                 // HALO.
-                if let Some(mv) = t.cuckoo_move_begin(sys.data_mut(), &key(k)) {
+                if let Some(mv) = t.fault_move_begin(sys.data_mut(), &key(k)) {
                     report.preempted_moves += 1;
                     for w in 0..cfg.move_window {
                         if rng.chance(0.5) {
@@ -187,7 +323,7 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
                         }
                         now = d;
                     }
-                    t.cuckoo_move_commit(sys.data_mut(), mv);
+                    t.fault_move_commit(sys.data_mut(), mv);
                     let got = t.lookup(sys.data_mut(), &key(k));
                     let want = model.get(&k).copied();
                     if got != want {
@@ -229,8 +365,11 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
         now += Cycles(8);
         sys.hw_unlock_expired(now);
         if audit_enabled() {
-            let found = audit_system(&sys, now);
-            if let Some(v) = found.first() {
+            if let Some(v) = audit_system(&sys, now)
+                .into_iter()
+                .chain(t.audit(sys.data_mut()))
+                .next()
+            {
                 return Err(format!("step {i}: audit violation: {v}"));
             }
         }
@@ -243,7 +382,7 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> Result<FaultReport, String> {
         .map(halo_accel::HaloAccelerator::scoreboard_stalls)
         .sum();
     report.violations = audit_system(&sys, now);
-    report.violations.extend(audit_cuckoo(&t, sys.data_mut()));
+    report.violations.extend(t.audit(sys.data_mut()));
     report.violations.extend(audit_table_placement(&t, &sys));
     Ok(report)
 }
@@ -263,6 +402,31 @@ mod tests {
         let report = run_fault_injection(&cfg).expect("oracle must agree under faults");
         assert!(report.forced_evictions > 0, "schedule never evicted");
         assert_eq!(report.violations, vec![], "auditor found violations");
+    }
+
+    #[test]
+    fn every_backend_survives_faults() {
+        for (i, backend) in FaultBackend::all().into_iter().enumerate() {
+            let cfg = FaultConfig {
+                seed: point_seed("fault.backends", i as u64),
+                ops: 120,
+                backend,
+                ..FaultConfig::default()
+            };
+            let report = run_fault_injection(&cfg)
+                .unwrap_or_else(|e| panic!("{} diverged under faults: {e}", backend.name()));
+            assert!(
+                report.forced_evictions > 0,
+                "{} schedule never evicted",
+                backend.name()
+            );
+            assert_eq!(
+                report.violations,
+                vec![],
+                "auditor found violations on {}",
+                backend.name()
+            );
+        }
     }
 
     #[test]

@@ -49,11 +49,13 @@ mod fault;
 mod oracle;
 mod shrink;
 
-pub use audit::{audit_cuckoo, audit_system, audit_table_placement, Violation};
-pub use fault::{run_fault_injection, FaultConfig, FaultReport};
+pub use audit::{
+    audit_cuckoo, audit_cuckoo_pp, audit_emoma, audit_system, audit_table_placement, Violation,
+};
+pub use fault::{run_fault_injection, FaultBackend, FaultConfig, FaultReport, FaultTarget};
 pub use oracle::{
-    buggy_cuckoo_driver, cuckoo_driver, engine_driver, flow_table_driver, gen_ops, kvstore_driver,
-    sfh_driver, tcam_driver, Op, KEY_LEN,
+    buggy_cuckoo_driver, cuckoo_driver, cuckoo_pp_driver, emoma_driver, engine_driver,
+    flow_table_driver, gen_ops, kvstore_driver, sfh_driver, tcam_driver, Op, KEY_LEN,
 };
 pub use shrink::{run_differential, shrink_ops, MinimalTrace};
 

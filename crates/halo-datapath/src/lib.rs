@@ -22,6 +22,10 @@
 //! * [`DatapathCore`] — the per-core classification stage: EMC probe →
 //!   MegaFlow search → promotion, generic over any
 //!   [`FlowTable`](halo_tables::FlowTable) backend.
+//! * [`TableBackend`] / [`ExactTable`] — runtime selection of the
+//!   exact-match implementation (baseline cuckoo, Cuckoo++ presence
+//!   filters, EMOMA CBF steering) behind one dispatch enum, so configs
+//!   name a backend instead of growing a type parameter.
 //!
 //! The timing contract is strict: for identical inputs the executor
 //! reproduces cycle-for-cycle the access streams of the paths it
@@ -56,6 +60,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+mod backend;
+
+pub use backend::{ExactTable, TableBackend};
 
 use halo_accel::HaloEngine;
 use halo_classify::{Emc, RuleMatch, TupleSpace};

@@ -9,9 +9,9 @@
 use crate::hash::{bucket_pair, hash_key, signature, SEED_PRIMARY};
 use crate::key::FlowKey;
 use crate::layout::{allocate_table, TableMeta, ENTRIES_PER_BUCKET};
+use crate::path::find_displacement_path;
 use crate::trace::{LookupTrace, TraceStep};
 use halo_mem::{Addr, SimMemory};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Maximum breadth-first nodes explored when hunting a cuckoo path.
@@ -256,63 +256,11 @@ impl CuckooTable {
         }
     }
 
-    /// BFS over bucket entries: find a chain `(b1,e1) <- ... <- (bk,ek)`
-    /// where the last entry's resident can move to a bucket with a free
-    /// slot. Returns the chain (first element is the slot that will be
-    /// freed for the new key).
+    /// BFS over bucket entries (see [`find_displacement_path`]); first
+    /// element of the returned chain is the slot that will be freed for
+    /// the new key.
     fn find_cuckoo_path(&self, mem: &mut SimMemory, start: u64) -> Option<Vec<(u64, usize)>> {
-        #[derive(Clone, Copy)]
-        struct Node {
-            bucket: u64,
-            entry: usize,
-            parent: i32,
-        }
-        let mut nodes: Vec<Node> = Vec::with_capacity(256);
-        let mut queue: VecDeque<i32> = VecDeque::new();
-        for e in 0..ENTRIES_PER_BUCKET {
-            nodes.push(Node {
-                bucket: start,
-                entry: e,
-                parent: -1,
-            });
-            queue.push_back(nodes.len() as i32 - 1);
-        }
-        while let Some(ni) = queue.pop_front() {
-            if nodes.len() > BFS_LIMIT {
-                return None;
-            }
-            let node = nodes[ni as usize];
-            let (_, idx) = self.meta.read_entry(mem, node.bucket, node.entry);
-            let resident = self.meta.read_kv_key(mem, idx);
-            let (r1, r2) = bucket_pair(&resident, self.meta.buckets);
-            let alt = if r1 == node.bucket { r2 } else { r1 };
-            // Does the alternative bucket have a free entry?
-            for e in 0..ENTRIES_PER_BUCKET {
-                let (s, _) = self.meta.read_entry(mem, alt, e);
-                if s == 0 {
-                    // Reconstruct path: from this node back to the root.
-                    let mut path = vec![(alt, e)];
-                    let mut cur = ni;
-                    while cur >= 0 {
-                        let n = nodes[cur as usize];
-                        path.push((n.bucket, n.entry));
-                        cur = n.parent;
-                    }
-                    path.reverse(); // root .. alt-free-slot
-                    return Some(path);
-                }
-            }
-            // Enqueue the alternative bucket's entries.
-            for e in 0..ENTRIES_PER_BUCKET {
-                nodes.push(Node {
-                    bucket: alt,
-                    entry: e,
-                    parent: ni,
-                });
-                queue.push_back(nodes.len() as i32 - 1);
-            }
-        }
-        None
+        find_displacement_path(&self.meta, mem, start, BFS_LIMIT)
     }
 
     /// Shifts residents backward along `path`, leaving `path[0]` empty.

@@ -1,0 +1,745 @@
+//! Cuckoo++ (Le Scouarnec): a cuckoo hash table whose buckets carry a
+//! small *presence filter* that kills the secondary-bucket probe on
+//! most negative lookups.
+//!
+//! The baseline [`CuckooTable`](crate::CuckooTable) probes **two**
+//! bucket lines on every miss (each key has two candidate buckets).
+//! Cuckoo++ observes that a key is only ever stored in its secondary
+//! bucket when its primary overflowed, which is rare; each primary
+//! bucket therefore keeps a 16-slot counting filter of the keys it has
+//! *displaced* into their secondary bucket. A lookup probes the primary
+//! bucket, and consults the filter — which lives in the **same cache
+//! line**, in the 16 bytes the DPDK layout leaves unused — before
+//! deciding whether the secondary probe is needed. A negative lookup
+//! whose filter slot is zero finishes after a single bucket load.
+//!
+//! The filter counts (rather than sets bits) so removals and cuckoo
+//! displacements stay exact: every transition of a key between its
+//! primary and secondary bucket adjusts the counter under the key's
+//! primary bucket, including mid-path BFS shifts and the two-phase
+//! move protocol (increment/decrement at `begin`, reverse on `abort`,
+//! nothing at `commit` — safe because a pending move keeps a copy in
+//! the bucket the lookup probes first).
+
+use crate::cuckoo::TableFullError;
+use crate::hash::{bucket_pair, hash_key, signature, SEED_PRIMARY};
+use crate::key::FlowKey;
+use crate::layout::{allocate_table, TableMeta, ENTRIES_PER_BUCKET};
+use crate::path::find_displacement_path;
+use crate::trace::{LookupTrace, TraceStep};
+use halo_mem::{Addr, SimMemory};
+
+/// Maximum breadth-first nodes explored when hunting a cuckoo path.
+const BFS_LIMIT: usize = 4096;
+
+/// Byte offset of the presence filter inside a bucket line: the DPDK
+/// layout uses bytes `0..16` for signatures and `16..48` for kv
+/// indices, leaving `48..64` free.
+pub const FILTER_OFF: u64 = 48;
+
+/// Counting slots per bucket filter (one byte each).
+pub const FILTER_SLOTS: usize = 16;
+
+/// A Cuckoo++ relocation caught between its two bucket writes, exactly
+/// like [`PendingMove`](crate::PendingMove) but carrying the presence
+/// filter adjustment that was applied at `begin` so `abort` can reverse
+/// it. While a move is pending only lookups may run against the table.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a pending move must be committed or aborted"]
+pub struct PendingMovePp {
+    src: (u64, usize),
+    dst: (u64, usize),
+    /// Primary bucket and filter slot of the moving key.
+    filter: (u64, usize),
+    /// Filter delta applied at `begin` (+1 for primary->secondary,
+    /// -1 for secondary->primary); `abort` applies the negation.
+    applied: i8,
+}
+
+/// A cuckoo hash table with per-bucket counting presence filters
+/// (Cuckoo++).
+///
+/// Layout, hashing, and displacement are identical to
+/// [`CuckooTable`](crate::CuckooTable); the only addition is the
+/// 16-byte filter in each bucket line and the bookkeeping that keeps it
+/// exact across inserts, removes, BFS shifts, and two-phase moves.
+///
+/// # Examples
+///
+/// ```
+/// use halo_mem::SimMemory;
+/// use halo_tables::{CuckooPlusPlusTable, FlowKey, TraceStep};
+///
+/// let mut mem = SimMemory::new();
+/// let mut t = CuckooPlusPlusTable::create(&mut mem, 1024, 13);
+/// let k = FlowKey::synthetic(1, 13);
+/// t.insert(&mut mem, &k, 0xAB).unwrap();
+/// assert_eq!(t.lookup(&mut mem, &k), Some(0xAB));
+/// // A negative lookup in an empty-filter bucket loads ONE bucket line.
+/// let miss = t.lookup_traced(&mut mem, &FlowKey::synthetic(2, 13), false);
+/// let loads = miss.steps.iter().filter(|s| matches!(s, TraceStep::LoadBucket(_))).count();
+/// assert_eq!(loads, 1);
+/// ```
+#[derive(Debug)]
+pub struct CuckooPlusPlusTable {
+    meta_addr: Addr,
+    meta: TableMeta,
+    /// Optimistic-lock version counter line (software locking model).
+    version_addr: Addr,
+    free: Vec<u32>,
+    len: usize,
+    moves_in_flight: usize,
+}
+
+impl CuckooPlusPlusTable {
+    /// Creates a table with `buckets` buckets (power of two) for
+    /// `key_len`-byte keys. Capacity is `buckets * 8` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two or `key_len` is out of
+    /// range.
+    pub fn create(mem: &mut SimMemory, buckets: u64, key_len: usize) -> Self {
+        let (meta_addr, meta) = allocate_table(mem, buckets, key_len);
+        let version_addr = mem.alloc_lines(64);
+        let slots = (buckets as usize) * ENTRIES_PER_BUCKET;
+        let free = (0..slots as u32).rev().collect();
+        CuckooPlusPlusTable {
+            meta_addr,
+            meta,
+            version_addr,
+            free,
+            len: 0,
+            moves_in_flight: 0,
+        }
+    }
+
+    /// Sizes a table for `flows` entries at `occupancy` and creates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is not in `(0, 1]`.
+    pub fn with_capacity_for(
+        mem: &mut SimMemory,
+        flows: usize,
+        occupancy: f64,
+        key_len: usize,
+    ) -> Self {
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+        let slots_needed = (flows as f64 / occupancy).ceil() as u64;
+        let buckets = (slots_needed / ENTRIES_PER_BUCKET as u64)
+            .max(1)
+            .next_power_of_two();
+        CuckooPlusPlusTable::create(mem, buckets, key_len)
+    }
+
+    /// The table's metadata-line address.
+    #[must_use]
+    pub fn meta_addr(&self) -> Addr {
+        self.meta_addr
+    }
+
+    /// The table layout.
+    #[must_use]
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Address of the optimistic-lock version counter.
+    #[must_use]
+    pub fn version_addr(&self) -> Addr {
+        self.version_addr
+    }
+
+    /// Number of installed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total entry capacity (`buckets * 8`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.meta.buckets as usize * ENTRIES_PER_BUCKET
+    }
+
+    /// Current occupancy in `[0, 1]`.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Number of unclaimed key-value slots (`len + free_slots ==
+    /// capacity` is an audited invariant).
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Two-phase moves currently between `begin` and `commit`/`abort`.
+    #[must_use]
+    pub fn moves_in_flight(&self) -> usize {
+        self.moves_in_flight
+    }
+
+    /// Filter slot a key hashes to within its primary bucket's filter
+    /// (bits 32..36 of the primary hash: independent of the bucket
+    /// index bits and of the signature bits).
+    #[must_use]
+    pub fn filter_index(key: &FlowKey) -> usize {
+        ((hash_key(key, SEED_PRIMARY) >> 32) & 0xF) as usize
+    }
+
+    /// Reads filter slot `fi` of bucket `b` — the number of keys with
+    /// primary bucket `b` and filter index `fi` currently stored in
+    /// their secondary bucket (exposed for the invariant auditor).
+    #[must_use]
+    pub fn filter_count(&self, mem: &mut SimMemory, b: u64, fi: usize) -> u8 {
+        debug_assert!(fi < FILTER_SLOTS);
+        mem.read_u8(self.meta.bucket_addr(b) + FILTER_OFF + fi as u64)
+    }
+
+    fn filter_adjust(&self, mem: &mut SimMemory, b: u64, fi: usize, delta: i8) {
+        let a = self.meta.bucket_addr(b) + FILTER_OFF + fi as u64;
+        let c = mem.read_u8(a);
+        let next = if delta > 0 {
+            assert!(c < u8::MAX, "presence filter counter overflow");
+            c + 1
+        } else {
+            assert!(c > 0, "presence filter counter underflow");
+            c - 1
+        };
+        mem.write_u8(a, next);
+    }
+
+    fn check_key(&self, key: &FlowKey) {
+        assert_eq!(key.len(), self.meta.key_len as usize, "key length mismatch");
+    }
+
+    fn bump_version(&self, mem: &mut SimMemory) {
+        let v = mem.read_u64(self.version_addr);
+        mem.write_u64(self.version_addr, v.wrapping_add(1));
+    }
+
+    /// Inserts or updates `key -> value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFullError`] if no cuckoo path to a free slot
+    /// exists within the search limit; the table is unchanged.
+    pub fn insert(
+        &mut self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        value: u64,
+    ) -> Result<(), TableFullError> {
+        self.check_key(key);
+        let (b1, b2) = bucket_pair(key, self.meta.buckets);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        let fi = Self::filter_index(key);
+
+        // Update in place if present.
+        for b in [b1, b2] {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, idx) = self.meta.read_entry(mem, b, e);
+                if s == sig && self.meta.read_kv_key(mem, idx) == *key {
+                    self.meta.write_kv_value(mem, idx, value);
+                    return Ok(());
+                }
+            }
+        }
+
+        let Some(kv_idx) = self.free.pop() else {
+            return Err(TableFullError);
+        };
+
+        // Direct placement: primary first (keeps the filter empty),
+        // secondary second (registers the displacement in the filter).
+        for b in [b1, b2] {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, _) = self.meta.read_entry(mem, b, e);
+                if s == 0 {
+                    self.meta.write_kv(mem, kv_idx, key, value);
+                    self.meta.write_entry(mem, b, e, sig, kv_idx);
+                    if b == b2 {
+                        self.filter_adjust(mem, b1, fi, 1);
+                    }
+                    self.bump_version(mem);
+                    self.len += 1;
+                    return Ok(());
+                }
+            }
+        }
+
+        // Both buckets full: BFS for a displacement path rooted at b1,
+        // so the new key always lands in its primary bucket and the
+        // filter only changes for the shifted residents.
+        match find_displacement_path(&self.meta, mem, b1, BFS_LIMIT) {
+            Some(path) => {
+                self.shift_along_path(mem, &path);
+                let (b, e) = path[0];
+                debug_assert_eq!(b, b1, "BFS roots at the primary bucket");
+                self.meta.write_kv(mem, kv_idx, key, value);
+                self.meta.write_entry(mem, b, e, sig, kv_idx);
+                self.bump_version(mem);
+                self.len += 1;
+                Ok(())
+            }
+            None => {
+                self.free.push(kv_idx);
+                Err(TableFullError)
+            }
+        }
+    }
+
+    /// Shifts residents backward along `path`, leaving `path[0]` empty
+    /// and adjusting each shifted resident's presence-filter slot: a
+    /// shift into its secondary bucket registers the displacement, a
+    /// shift back into its primary clears it.
+    fn shift_along_path(&self, mem: &mut SimMemory, path: &[(u64, usize)]) {
+        for w in (1..path.len()).rev() {
+            let (dst_b, dst_e) = path[w];
+            let (src_b, src_e) = path[w - 1];
+            let (s, idx) = self.meta.read_entry(mem, src_b, src_e);
+            debug_assert_ne!(s, 0, "shifting an empty entry");
+            let resident = self.meta.read_kv_key(mem, idx);
+            let (r1, _) = bucket_pair(&resident, self.meta.buckets);
+            let rfi = Self::filter_index(&resident);
+            self.meta.write_entry(mem, dst_b, dst_e, s, idx);
+            self.meta.clear_entry(mem, src_b, src_e);
+            if dst_b == r1 {
+                self.filter_adjust(mem, r1, rfi, -1);
+            } else {
+                self.filter_adjust(mem, r1, rfi, 1);
+            }
+        }
+    }
+
+    /// Functional lookup.
+    #[must_use]
+    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        self.lookup_traced(mem, key, false).result
+    }
+
+    /// Lookup recording the ordered memory/compute steps taken.
+    ///
+    /// Probes the primary bucket, then consults its presence filter —
+    /// one extra `CompareSigs` compute step, **no** extra memory step,
+    /// because the filter shares the already-loaded bucket line — and
+    /// only probes the secondary bucket when the filter slot is
+    /// nonzero.
+    #[must_use]
+    pub fn lookup_traced(
+        &self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        software_locking: bool,
+    ) -> LookupTrace {
+        self.check_key(key);
+        let mut steps = Vec::with_capacity(12);
+        steps.push(TraceStep::LoadMeta(self.meta_addr));
+        if software_locking {
+            steps.push(TraceStep::SoftLock(self.version_addr));
+        }
+        steps.push(TraceStep::Hash);
+        let (b1, b2) = bucket_pair(key, self.meta.buckets);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+
+        let scan = |b: u64, steps: &mut Vec<TraceStep>, mem: &mut SimMemory| {
+            steps.push(TraceStep::LoadBucket(self.meta.bucket_addr(b)));
+            steps.push(TraceStep::CompareSigs);
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, idx) = self.meta.read_entry(mem, b, e);
+                if s == sig {
+                    let kv = self.meta.kv_addr(idx);
+                    steps.push(TraceStep::LoadKv(kv));
+                    if self.meta.kv_slot > 64 {
+                        steps.push(TraceStep::LoadKv(kv + 64));
+                    }
+                    steps.push(TraceStep::CompareKey);
+                    if self.meta.read_kv_key(mem, idx) == *key {
+                        return Some(self.meta.read_kv_value(mem, idx));
+                    }
+                }
+            }
+            None
+        };
+
+        let mut result = scan(b1, &mut steps, mem);
+        if result.is_none() {
+            // Filter probe: same cache line as b1, compute only.
+            steps.push(TraceStep::CompareSigs);
+            if self.filter_count(mem, b1, Self::filter_index(key)) > 0 {
+                result = scan(b2, &mut steps, mem);
+            }
+        }
+        if software_locking {
+            steps.push(TraceStep::SoftLock(self.version_addr));
+        }
+        LookupTrace { result, steps }
+    }
+
+    /// Removes `key`, returning its value if present. A removal from
+    /// the secondary bucket decrements the primary bucket's filter slot
+    /// so later negative lookups return to a single probe.
+    pub fn remove(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        self.check_key(key);
+        let (b1, b2) = bucket_pair(key, self.meta.buckets);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        for b in [b1, b2] {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, idx) = self.meta.read_entry(mem, b, e);
+                if s == sig && self.meta.read_kv_key(mem, idx) == *key {
+                    let v = self.meta.read_kv_value(mem, idx);
+                    self.meta.clear_entry(mem, b, e);
+                    self.meta.clear_kv(mem, idx);
+                    if b == b2 {
+                        self.filter_adjust(mem, b1, Self::filter_index(key), -1);
+                    }
+                    self.free.push(idx);
+                    self.len -= 1;
+                    self.bump_version(mem);
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Performs one "cuckoo move": relocates `key`'s bucket entry to
+    /// its alternative bucket if that bucket has a free entry,
+    /// adjusting the filter in the same step. Returns `true` on
+    /// success.
+    pub fn cuckoo_move(&mut self, mem: &mut SimMemory, key: &FlowKey) -> bool {
+        match self.cuckoo_move_begin(mem, key) {
+            Some(mv) => {
+                self.cuckoo_move_commit(mem, mv);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts a two-phase cuckoo move: *copies* `key`'s bucket entry to
+    /// a free slot of its alternative bucket without clearing the
+    /// source, and applies the filter adjustment immediately — safe in
+    /// both directions because a lookup always probes the primary
+    /// bucket (where a copy exists throughout a primary→secondary
+    /// window) before consulting the filter, and a secondary→primary
+    /// window keeps a copy in the primary bucket which the lookup finds
+    /// without the filter's help. Returns `None` if the key is absent
+    /// or the alternative bucket is full.
+    pub fn cuckoo_move_begin(
+        &mut self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+    ) -> Option<PendingMovePp> {
+        self.check_key(key);
+        let (b1, b2) = bucket_pair(key, self.meta.buckets);
+        let sig = signature(hash_key(key, SEED_PRIMARY));
+        let fi = Self::filter_index(key);
+        for (b, alt) in [(b1, b2), (b2, b1)] {
+            for e in 0..ENTRIES_PER_BUCKET {
+                let (s, idx) = self.meta.read_entry(mem, b, e);
+                if s == sig && self.meta.read_kv_key(mem, idx) == *key {
+                    for ae in 0..ENTRIES_PER_BUCKET {
+                        let (as_, _) = self.meta.read_entry(mem, alt, ae);
+                        if as_ == 0 {
+                            self.meta.write_entry(mem, alt, ae, s, idx);
+                            let applied: i8 = if b == b1 { 1 } else { -1 };
+                            self.filter_adjust(mem, b1, fi, applied);
+                            self.moves_in_flight += 1;
+                            return Some(PendingMovePp {
+                                src: (b, e),
+                                dst: (alt, ae),
+                                filter: (b1, fi),
+                                applied,
+                            });
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Completes a two-phase move: clears the source entry. The filter
+    /// already reflects the final placement (adjusted at `begin`).
+    pub fn cuckoo_move_commit(&mut self, mem: &mut SimMemory, mv: PendingMovePp) {
+        self.meta.clear_entry(mem, mv.src.0, mv.src.1);
+        self.bump_version(mem);
+        self.moves_in_flight -= 1;
+    }
+
+    /// Rolls a two-phase move back: clears the destination copy and
+    /// reverses the filter adjustment applied at `begin`.
+    pub fn cuckoo_move_abort(&mut self, mem: &mut SimMemory, mv: PendingMovePp) {
+        self.meta.clear_entry(mem, mv.dst.0, mv.dst.1);
+        self.filter_adjust(mem, mv.filter.0, mv.filter.1, -mv.applied);
+        self.moves_in_flight -= 1;
+    }
+
+    /// All addresses of lines an ideal prefetcher would warm for this
+    /// table: metadata, every bucket line (filters included — same
+    /// lines), every kv line.
+    pub fn all_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        let meta = self.meta_addr;
+        let version = self.version_addr;
+        let buckets = (0..self.meta.buckets).map(move |b| self.meta.bucket_addr(b));
+        let kv_lines = self.meta.buckets * ENTRIES_PER_BUCKET as u64 * u64::from(self.meta.kv_slot)
+            / halo_mem::CACHE_LINE;
+        let kv = (0..kv_lines).map(move |i| self.meta.kv_base + i * halo_mem::CACHE_LINE);
+        [meta, version].into_iter().chain(buckets).chain(kv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(buckets: u64) -> (SimMemory, CuckooPlusPlusTable) {
+        let mut mem = SimMemory::new();
+        let t = CuckooPlusPlusTable::create(&mut mem, buckets, 13);
+        (mem, t)
+    }
+
+    fn bucket_loads(tr: &LookupTrace) -> usize {
+        tr.steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::LoadBucket(_)))
+            .count()
+    }
+
+    /// Synthetic keys whose primary bucket equals `b` under `buckets`.
+    fn keys_with_primary(b: u64, buckets: u64, n: usize) -> Vec<FlowKey> {
+        let mut out = Vec::new();
+        let mut id = 0u64;
+        while out.len() < n {
+            let k = FlowKey::synthetic(id, 13);
+            if bucket_pair(&k, buckets).0 == b {
+                out.push(k);
+            }
+            id += 1;
+            assert!(id < 1_000_000, "key search diverged");
+        }
+        out
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        assert_eq!(t.lookup(&mut mem, &k), None);
+        t.insert(&mut mem, &k, 99).unwrap();
+        assert_eq!(t.lookup(&mut mem, &k), Some(99));
+        assert_eq!(t.remove(&mut mem, &k), Some(99));
+        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert!(t.is_empty());
+    }
+
+    /// The headline property: a negative lookup against an untouched
+    /// filter slot loads exactly one bucket line (the baseline always
+    /// loads two on a miss).
+    #[test]
+    fn negative_lookup_is_single_probe() {
+        let (mut mem, mut t) = setup(64);
+        for id in 0..100u64 {
+            t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).unwrap();
+        }
+        // At 100/512 fill no bucket overflows, so every filter is empty
+        // and every miss is a single probe.
+        for id in 1000..1100u64 {
+            let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+            assert_eq!(tr.result, None);
+            assert_eq!(bucket_loads(&tr), 1, "miss probed the secondary bucket");
+        }
+    }
+
+    /// A key stored in its secondary bucket stays findable (the filter
+    /// steers the lookup to the second probe).
+    #[test]
+    fn displaced_key_found_through_filter() {
+        let buckets = 64;
+        let (mut mem, mut t) = setup(buckets);
+        let keys = keys_with_primary(7, buckets, ENTRIES_PER_BUCKET + 1);
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&mut mem, k, i as u64).unwrap();
+        }
+        // Bucket 7 overflowed: at least one of the keys took a second
+        // probe, and all remain findable.
+        let mut second_probes = 0;
+        for (i, k) in keys.iter().enumerate() {
+            let tr = t.lookup_traced(&mut mem, k, false);
+            assert_eq!(tr.result, Some(i as u64), "lost key {i}");
+            if bucket_loads(&tr) == 2 {
+                second_probes += 1;
+            }
+        }
+        assert!(second_probes >= 1, "no key was displaced to secondary");
+    }
+
+    /// Satellite regression: removing a displaced key must clear its
+    /// presence-filter slot, so negative lookups hashing to that slot
+    /// return to a single probe.
+    #[test]
+    fn remove_clears_filter_for_negative_lookups() {
+        let buckets = 64;
+        let (mut mem, mut t) = setup(buckets);
+        let keys = keys_with_primary(7, buckets, ENTRIES_PER_BUCKET + 4);
+        let (fillers, displaced) = keys.split_at(ENTRIES_PER_BUCKET);
+        for k in fillers {
+            t.insert(&mut mem, k, 1).unwrap();
+        }
+        for k in displaced {
+            t.insert(&mut mem, k, 2).unwrap();
+        }
+        // Each displaced key's own (absent-twin) filter slot is hot:
+        // removing the key must cool it again.
+        for k in displaced {
+            let fi = CuckooPlusPlusTable::filter_index(k);
+            assert!(t.filter_count(&mut mem, 7, fi) > 0, "filter never set");
+            assert_eq!(t.remove(&mut mem, k), Some(2));
+        }
+        for fi in 0..FILTER_SLOTS {
+            assert_eq!(
+                t.filter_count(&mut mem, 7, fi),
+                0,
+                "filter slot {fi} left hot after removes"
+            );
+        }
+        // And a re-insert round trip keeps the filter exact.
+        for k in displaced {
+            t.insert(&mut mem, k, 3).unwrap();
+            assert_eq!(t.remove(&mut mem, k), Some(3));
+        }
+        for k in displaced {
+            let tr = t.lookup_traced(&mut mem, k, false);
+            assert_eq!(tr.result, None);
+            assert_eq!(bucket_loads(&tr), 1, "negative lookup stayed double-probe");
+        }
+    }
+
+    /// BFS displacement paths (inserts into full bucket pairs) keep the
+    /// filter exact: everything stays findable and fully removing the
+    /// table empties every filter slot.
+    #[test]
+    fn fills_to_high_occupancy_with_exact_filters() {
+        let (mut mem, mut t) = setup(128); // 1024 slots
+        let mut stored = Vec::new();
+        for id in 0..1024u64 {
+            if t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).is_ok() {
+                stored.push(id);
+            } else {
+                break;
+            }
+        }
+        assert!(stored.len() >= 960, "fill degraded: {}/1024", stored.len());
+        for &id in &stored {
+            assert_eq!(
+                t.lookup(&mut mem, &FlowKey::synthetic(id, 13)),
+                Some(id),
+                "lost key {id}"
+            );
+        }
+        for &id in &stored {
+            assert_eq!(t.remove(&mut mem, &FlowKey::synthetic(id, 13)), Some(id));
+        }
+        for b in 0..128u64 {
+            for fi in 0..FILTER_SLOTS {
+                assert_eq!(
+                    t.filter_count(&mut mem, b, fi),
+                    0,
+                    "bucket {b} slot {fi} hot after draining the table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_move_keeps_key_findable_throughout() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        t.insert(&mut mem, &k, 7).unwrap();
+        let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
+        assert_eq!(t.moves_in_flight(), 1);
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        t.cuckoo_move_commit(&mut mem, mv);
+        assert_eq!(t.moves_in_flight(), 0);
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        // The key now sits in its secondary bucket; the filter steers.
+        let tr = t.lookup_traced(&mut mem, &k, false);
+        assert_eq!(bucket_loads(&tr), 2);
+        // Move back home: the filter must cool again.
+        assert!(t.cuckoo_move(&mut mem, &k));
+        let (b1, _) = bucket_pair(&k, 64);
+        assert_eq!(
+            t.filter_count(&mut mem, b1, CuckooPlusPlusTable::filter_index(&k)),
+            0
+        );
+    }
+
+    #[test]
+    fn two_phase_move_abort_restores_filter() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        let (b1, _) = bucket_pair(&k, 64);
+        let fi = CuckooPlusPlusTable::filter_index(&k);
+        t.insert(&mut mem, &k, 7).unwrap();
+        // Abort a primary->secondary move: filter returns to 0.
+        let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
+        assert_eq!(t.filter_count(&mut mem, b1, fi), 1, "begin must register");
+        assert_eq!(t.lookup(&mut mem, &k), Some(7), "findable mid-move");
+        t.cuckoo_move_abort(&mut mem, mv);
+        assert_eq!(t.filter_count(&mut mem, b1, fi), 0, "abort must reverse");
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        // Abort a secondary->primary move: filter returns to 1.
+        assert!(t.cuckoo_move(&mut mem, &k)); // now in secondary
+        let mv = t.cuckoo_move_begin(&mut mem, &k).expect("home bucket free");
+        assert_eq!(t.filter_count(&mut mem, b1, fi), 0, "begin must deregister");
+        assert_eq!(t.lookup(&mut mem, &k), Some(7), "findable mid-move");
+        t.cuckoo_move_abort(&mut mem, mv);
+        assert_eq!(
+            t.filter_count(&mut mem, b1, fi),
+            1,
+            "abort must re-register"
+        );
+        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.moves_in_flight(), 0);
+    }
+
+    #[test]
+    fn update_in_place_leaves_filter_untouched() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        t.insert(&mut mem, &k, 1).unwrap();
+        t.insert(&mut mem, &k, 2).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&mut mem, &k), Some(2));
+        let (b1, _) = bucket_pair(&k, 64);
+        assert_eq!(
+            t.filter_count(&mut mem, b1, CuckooPlusPlusTable::filter_index(&k)),
+            0
+        );
+    }
+
+    #[test]
+    fn software_locking_adds_version_reads() {
+        let (mut mem, mut t) = setup(64);
+        let k = FlowKey::synthetic(5, 13);
+        t.insert(&mut mem, &k, 7).unwrap();
+        let tr = t.lookup_traced(&mut mem, &k, true);
+        let locks = tr
+            .steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::SoftLock(_)))
+            .count();
+        assert_eq!(locks, 2);
+    }
+}

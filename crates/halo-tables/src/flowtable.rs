@@ -12,6 +12,8 @@
 //! EMOMA (Pontarelli et al.) would plug into.
 
 use crate::cuckoo::{CuckooTable, TableFullError};
+use crate::cuckoo_pp::CuckooPlusPlusTable;
+use crate::emoma::EmomaTable;
 use crate::key::FlowKey;
 use crate::sfh::SfhTable;
 use crate::trace::LookupTrace;
@@ -142,6 +144,94 @@ impl FlowTable for CuckooTable {
     }
 }
 
+impl FlowTable for CuckooPlusPlusTable {
+    fn meta_addr(&self) -> Option<Addr> {
+        Some(CuckooPlusPlusTable::meta_addr(self))
+    }
+
+    fn len(&self) -> usize {
+        CuckooPlusPlusTable::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        CuckooPlusPlusTable::capacity(self)
+    }
+
+    fn insert(
+        &mut self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        value: u64,
+    ) -> Result<(), TableFullError> {
+        CuckooPlusPlusTable::insert(self, mem, key, value)
+    }
+
+    fn remove(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        CuckooPlusPlusTable::remove(self, mem, key)
+    }
+
+    fn lookup_traced(
+        &self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        software_locking: bool,
+    ) -> LookupTrace {
+        CuckooPlusPlusTable::lookup_traced(self, mem, key, software_locking)
+    }
+
+    fn warm_lines(&self) -> Vec<Addr> {
+        self.all_lines().collect()
+    }
+
+    fn version_addr(&self) -> Option<Addr> {
+        Some(CuckooPlusPlusTable::version_addr(self))
+    }
+}
+
+impl FlowTable for EmomaTable {
+    fn meta_addr(&self) -> Option<Addr> {
+        Some(EmomaTable::meta_addr(self))
+    }
+
+    fn len(&self) -> usize {
+        EmomaTable::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        EmomaTable::capacity(self)
+    }
+
+    fn insert(
+        &mut self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        value: u64,
+    ) -> Result<(), TableFullError> {
+        EmomaTable::insert(self, mem, key, value)
+    }
+
+    fn remove(&mut self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+        EmomaTable::remove(self, mem, key)
+    }
+
+    fn lookup_traced(
+        &self,
+        mem: &mut SimMemory,
+        key: &FlowKey,
+        software_locking: bool,
+    ) -> LookupTrace {
+        EmomaTable::lookup_traced(self, mem, key, software_locking)
+    }
+
+    fn warm_lines(&self) -> Vec<Addr> {
+        self.all_lines().collect()
+    }
+
+    fn version_addr(&self) -> Option<Addr> {
+        Some(EmomaTable::version_addr(self))
+    }
+}
+
 impl FlowTable for SfhTable {
     fn meta_addr(&self) -> Option<Addr> {
         Some(SfhTable::meta_addr(self))
@@ -213,6 +303,26 @@ mod tests {
     fn cuckoo_is_a_flow_table() {
         let mut mem = SimMemory::new();
         let mut t = CuckooTable::create(&mut mem, 64, 13);
+        drive(&mut t, &mut mem);
+        assert!(FlowTable::meta_addr(&t).is_some());
+        assert!(FlowTable::version_addr(&t).is_some());
+        assert!(!t.warm_lines().is_empty());
+    }
+
+    #[test]
+    fn cuckoo_pp_is_a_flow_table() {
+        let mut mem = SimMemory::new();
+        let mut t = CuckooPlusPlusTable::create(&mut mem, 64, 13);
+        drive(&mut t, &mut mem);
+        assert!(FlowTable::meta_addr(&t).is_some());
+        assert!(FlowTable::version_addr(&t).is_some());
+        assert!(!t.warm_lines().is_empty());
+    }
+
+    #[test]
+    fn emoma_is_a_flow_table() {
+        let mut mem = SimMemory::new();
+        let mut t = EmomaTable::create(&mut mem, 64, 13);
         drive(&mut t, &mut mem);
         assert!(FlowTable::meta_addr(&t).is_some());
         assert!(FlowTable::version_addr(&t).is_some());

@@ -2,10 +2,14 @@
 //!
 //! Flow-table substrate for the HALO reproduction: the DPDK
 //! `rte_hash`-style [`CuckooTable`] (8-way buckets, 16-bit signatures,
-//! separate key-value array, each bucket aligned to one cache line) and
-//! the single-function-hash [`SfhTable`] baseline of §3.3, both laid out
-//! in simulated physical memory so the cache model observes the real
-//! access patterns.
+//! separate key-value array, each bucket aligned to one cache line), the
+//! single-function-hash [`SfhTable`] baseline of §3.3, and two
+//! literature variants that change exactly the access pattern the
+//! simulator models: [`CuckooPlusPlusTable`] (per-bucket presence
+//! filters kill the secondary probe on negative lookups) and
+//! [`EmomaTable`] (an on-chip counting Bloom filter steers every lookup
+//! to a single bucket access). All are laid out in simulated physical
+//! memory so the cache model observes the real access patterns.
 //!
 //! Lookups can be *traced* ([`LookupTrace`]): the ordered memory/compute
 //! steps are the common contract consumed by the software core model
@@ -31,14 +35,19 @@
 #![warn(missing_debug_implementations)]
 
 mod cuckoo;
+mod cuckoo_pp;
+mod emoma;
 mod flowtable;
 mod hash;
 mod key;
 mod layout;
+mod path;
 mod sfh;
 mod trace;
 
 pub use cuckoo::{CuckooTable, PendingMove, TableFullError};
+pub use cuckoo_pp::{CuckooPlusPlusTable, PendingMovePp, FILTER_OFF, FILTER_SLOTS};
+pub use emoma::{EmomaPendingMove, EmomaTable};
 pub use flowtable::FlowTable;
 pub use hash::{bucket_pair, hash_key, signature, SEED_PRIMARY, SEED_SECONDARY};
 pub use key::{FlowKey, MAX_KEY_LEN};

@@ -14,8 +14,10 @@
 //! HALO lookups, with optional rule churn from a revalidator thread.
 
 use halo_accel::HaloEngine;
-use halo_classify::{distinct_masks, Emc, PacketHeader, SearchMode, TupleSpace};
-use halo_datapath::{DatapathCore, LookupExecutor, NbRegion};
+use halo_classify::{
+    distinct_masks, Emc, PacketHeader, SearchMode, Tuple, TupleSpace, MINIFLOW_LEN,
+};
+use halo_datapath::{DatapathCore, ExactTable, LookupExecutor, NbRegion, TableBackend};
 use halo_mem::{CoreId, MemorySystem, CACHE_LINE};
 use halo_sim::{Cycle, SplitMix64};
 use halo_tables::{hash_key, SEED_PRIMARY};
@@ -34,6 +36,9 @@ pub struct MultiCoreConfig {
     /// Backend for the shared MegaFlow search (per-core EMC probes
     /// always run in software).
     pub backend: LookupBackend,
+    /// Exact-match implementation backing every MegaFlow tuple
+    /// (baseline cuckoo by default, preserving historical figures).
+    pub table_backend: TableBackend,
     /// Seed of the packet-arrival stream.
     pub seed: u64,
     /// Promote MegaFlow hits into the per-core EMC (OVS behaviour;
@@ -56,6 +61,7 @@ impl MultiCoreConfig {
             tuples,
             flows,
             backend,
+            table_backend: TableBackend::Cuckoo,
             seed,
             emc_promotion: true,
         }
@@ -87,7 +93,7 @@ struct PmdThread {
 #[derive(Debug)]
 pub struct MultiCoreDatapath {
     pmds: Vec<PmdThread>,
-    megaflow: TupleSpace,
+    megaflow: TupleSpace<ExactTable>,
     flows: u64,
     rng: SplitMix64,
 }
@@ -150,14 +156,23 @@ impl MultiCoreDatapath {
             tuples,
             flows,
             backend,
+            table_backend,
             seed,
             emc_promotion,
         } = cfg;
         assert!(cores <= sys.config().cores, "not enough cores");
-        let mut megaflow = TupleSpace::new(
-            sys.data_mut(),
-            distinct_masks(tuples),
-            flows / tuples + 512,
+        // Same per-tuple sizing `TupleSpace::new` uses for the cuckoo
+        // baseline, applied to whichever backend the config selects.
+        let entries_per_tuple = flows / tuples + 512;
+        let mut megaflow = TupleSpace::from_tuples(
+            distinct_masks(tuples)
+                .into_iter()
+                .map(|mask| {
+                    let table =
+                        table_backend.build(sys.data_mut(), entries_per_tuple, 0.85, MINIFLOW_LEN);
+                    Tuple::from_parts(mask, table)
+                })
+                .collect(),
             SearchMode::FirstMatch,
         );
         for f in 0..flows as u64 {
@@ -167,7 +182,7 @@ impl MultiCoreDatapath {
                 .expect("tuple sized for its share");
         }
         for t in megaflow.tuples() {
-            for a in t.table().all_lines().collect::<Vec<_>>() {
+            for a in t.table().all_lines() {
                 sys.warm_llc(a);
             }
         }
@@ -383,6 +398,25 @@ mod tests {
         );
         // The default config keeps the historical always-promote shape.
         assert!(MultiCoreConfig::new(1, 1, 1, LookupBackend::Software, 0).emc_promotion);
+    }
+
+    /// Every exact-match backend drives the multicore datapath to
+    /// completion, with churn exercising the shared version lines.
+    #[test]
+    fn every_table_backend_classifies() {
+        for table_backend in TableBackend::all() {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut cfg = MultiCoreConfig::new(4, 5, 2_000, LookupBackend::Software, 42);
+            cfg.table_backend = table_backend;
+            let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+            let report = dp.run(&mut sys, None, 400, 50);
+            assert_eq!(report.packets, 400, "{}", table_backend.name());
+            assert!(
+                report.throughput_per_kcy > 0.0,
+                "{} made no progress",
+                table_backend.name()
+            );
+        }
     }
 
     /// Non-blocking destination slots must not alias when a search can

@@ -16,18 +16,45 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FIGS=(fig3 fig9 fig10 fig11 scaling ablation)
+FIGS=(fig3 fig9 fig10 fig11 scaling ablation ablation-backends)
 mode="verify"
 [[ "${1:-}" == "--update" ]] && mode="update"
+
+if [[ "$mode" == "update" ]]; then
+    # Refuse to rewrite the digests while stale figure artifacts from a
+    # previous run are sitting uncommitted in the tree: an --update that
+    # silently coexists with leftover outputs makes it far too easy to
+    # commit digests that do not correspond to this tree's code.
+    artifacts=(BENCH_hotpath.json BENCH_sweep.json TRACE_halo.json ABLATION_backends.json)
+    stale=()
+    for f in "${artifacts[@]}"; do
+        # Tracked-and-clean copies are fine; anything else (untracked,
+        # ignored, or locally modified) is a leftover from a prior run.
+        if [[ -e "$f" ]] && ! git diff --quiet HEAD -- "$f" 2>/dev/null; then
+            stale+=("$f")
+        elif [[ -e "$f" ]] && ! git ls-files --error-unmatch "$f" >/dev/null 2>&1; then
+            stale+=("$f")
+        fi
+    done
+    if (( ${#stale[@]} )); then
+        echo "golden: refusing --update, stale figure outputs present: ${stale[*]}" >&2
+        echo "golden: remove or commit them first (they are regenerated artifacts)" >&2
+        exit 1
+    fi
+fi
 
 echo "==> cargo build --release -p halo-bench"
 cargo build --release -p halo-bench
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
+bin="$PWD/target/release/figures"
 for fig in "${FIGS[@]}"; do
     echo "==> figures --quick --jobs 2 $fig"
-    ./target/release/figures --quick --jobs 2 "$fig" > "$out/$fig.txt"
+    # Run from the scratch dir: some figures (ablation-backends) also
+    # drop a JSON artifact into the working directory, and those must
+    # not land in the repo root during a golden run.
+    (cd "$out" && "$bin" --quick --jobs 2 "$fig" > "$out/$fig.txt")
 done
 
 if [[ "$mode" == "update" ]]; then

@@ -7,8 +7,9 @@
 //! the invariant auditor after every op.
 
 use halo_nfv::check::{
-    buggy_cuckoo_driver, cuckoo_driver, engine_driver, kvstore_driver, run_differential,
-    run_fault_injection, sfh_driver, tcam_driver, FaultConfig,
+    buggy_cuckoo_driver, cuckoo_driver, cuckoo_pp_driver, emoma_driver, engine_driver,
+    kvstore_driver, run_differential, run_fault_injection, sfh_driver, tcam_driver, FaultBackend,
+    FaultConfig,
 };
 use halo_nfv::sim::point_seed;
 
@@ -23,6 +24,29 @@ const OPS: usize = if cfg!(feature = "slow-tests") {
 fn cuckoo_agrees_with_oracle() {
     run_differential("differential.cuckoo", CASES, OPS, 2048, |ops| {
         cuckoo_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+/// Cuckoo++ must agree with the oracle through the same op streams,
+/// with its per-bucket presence filters audited after every op (under
+/// `--features audit`) and removed keys re-checked for single-probe
+/// negative lookups inside the driver.
+#[test]
+fn cuckoo_pp_agrees_with_oracle() {
+    run_differential("differential.cuckoo_pp", CASES, OPS, 2048, |ops| {
+        cuckoo_pp_driver(ops)
+    })
+    .unwrap_or_else(|t| panic!("{t}"));
+}
+
+/// EMOMA must agree with the oracle while every single lookup — hit or
+/// miss, mid-displacement or not — touches exactly one bucket line (the
+/// driver asserts the probe count on every op).
+#[test]
+fn emoma_agrees_with_oracle() {
+    run_differential("differential.emoma", CASES, OPS, 2048, |ops| {
+        emoma_driver(ops)
     })
     .unwrap_or_else(|t| panic!("{t}"));
 }
@@ -99,6 +123,43 @@ fn fault_injection_passes_auditor() {
     }
 }
 
+/// The fault schedule must hold for every exact-match backend: forced
+/// evictions, stall bursts, and mid-move preemptions against Cuckoo++'s
+/// presence filters and EMOMA's counting-Bloom steering leave zero
+/// auditor violations, just like the baseline cuckoo table.
+#[test]
+fn fault_injection_passes_auditor_for_every_backend() {
+    let seeds = if cfg!(feature = "slow-tests") { 3 } else { 1 };
+    for (i, backend) in FaultBackend::all().into_iter().enumerate() {
+        for s in 0..seeds {
+            let cfg = FaultConfig {
+                seed: point_seed("differential.fault.backends", i as u64 * 16 + s),
+                backend,
+                ..FaultConfig::default()
+            };
+            let report = run_fault_injection(&cfg)
+                .unwrap_or_else(|e| panic!("{}, seed {:#x}: {e}", backend.name(), cfg.seed));
+            assert!(
+                report.forced_evictions > 0,
+                "{}: no evictions injected",
+                backend.name()
+            );
+            assert!(
+                report.preempted_moves > 0,
+                "{}: no mid-move preemptions injected",
+                backend.name()
+            );
+            assert_eq!(
+                report.violations,
+                vec![],
+                "{}: auditor violations under seed {:#x}",
+                backend.name(),
+                cfg.seed
+            );
+        }
+    }
+}
+
 /// Parallelism must never change results: the same fig9 slice run at
 /// one and four jobs produces byte-identical rows (ordered merge in
 /// `SweepRunner`), both as raw cells and as the rendered table.
@@ -126,6 +187,38 @@ fn fig9_small_slice_is_jobs_invariant() {
         );
     }
     assert_eq!(fig9::table(&a).to_string(), fig9::table(&b).to_string());
+}
+
+/// The backend-ablation matrix must also be jobs-invariant: the same
+/// small slice at one and four workers produces bit-identical cells
+/// and an identical rendered table.
+#[test]
+fn ablation_backends_small_slice_is_jobs_invariant() {
+    use halo_bench::experiments::ablation_backends;
+    use halo_nfv::sim::SweepRunner;
+
+    let a = ablation_backends::run_small_slice(&SweepRunner::new("abl-b-det-1", 1).quiet());
+    let b = ablation_backends::run_small_slice(&SweepRunner::new("abl-b-det-4", 4).quiet());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.backend, y.backend);
+        assert_eq!(x.strategy, y.strategy);
+        assert_eq!(x.mix, y.mix);
+        assert_eq!(
+            x.throughput.to_bits(),
+            y.throughput.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+        assert_eq!(
+            x.mem_per_lookup.to_bits(),
+            y.mem_per_lookup.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+    }
+    assert_eq!(
+        ablation_backends::table(&a).to_string(),
+        ablation_backends::table(&b).to_string()
+    );
 }
 
 /// Mutation smoke check: a deliberately broken cuckoo remove (clears

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use halo_nfv::accel::{AcceleratorConfig, HaloEngine};
 use halo_nfv::check::audit_system;
 use halo_nfv::classify::PacketHeader;
+use halo_nfv::datapath::TableBackend;
 use halo_nfv::mem::{AccessKind, AccessOutcome, Addr, CoreId, MachineConfig, MemorySystem};
 use halo_nfv::sim::{Cycle, SplitMix64};
 use halo_nfv::vswitch::{
@@ -172,11 +173,13 @@ fn process_burst_matches_scalar_halo_nonblocking() {
 
 fn multicore_run(
     backend: LookupBackend,
+    table_backend: TableBackend,
     tuples: usize,
 ) -> (ScalingReport, Vec<u64>, Vec<(String, u64)>) {
     let mut sys = MemorySystem::new(MachineConfig::default());
     let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
-    let cfg = MultiCoreConfig::new(4, tuples, 2_000, backend, 0xD1_5C0);
+    let mut cfg = MultiCoreConfig::new(4, tuples, 2_000, backend, 0xD1_5C0);
+    cfg.table_backend = table_backend;
     let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
     let e = match backend {
         LookupBackend::Software => None,
@@ -189,26 +192,32 @@ fn multicore_run(
 
 /// Two identically-configured `MultiCoreDatapath` runs must agree on
 /// every observable — per-core packet spread, aggregate report, and the
-/// full memory-system statistics — for every backend, including a
-/// tuple-space wide enough (12 masks) that the non-blocking destination
-/// region spans multiple cache lines per core.
+/// full memory-system statistics — for every backend combination,
+/// including a tuple-space wide enough (12 masks) that the non-blocking
+/// destination region spans multiple cache lines per core. Beyond the
+/// three lookup strategies over the baseline cuckoo table, the matrix
+/// covers both new exact-match backends (Cuckoo++ and EMOMA) under the
+/// non-blocking path — five backend combinations in all.
 #[test]
 fn multicore_runs_are_deterministic_for_every_backend() {
-    for backend in [
-        LookupBackend::Software,
-        LookupBackend::HaloBlocking,
-        LookupBackend::HaloNonBlocking,
+    for (backend, table_backend) in [
+        (LookupBackend::Software, TableBackend::Cuckoo),
+        (LookupBackend::HaloBlocking, TableBackend::Cuckoo),
+        (LookupBackend::HaloNonBlocking, TableBackend::Cuckoo),
+        (LookupBackend::HaloNonBlocking, TableBackend::CuckooPlusPlus),
+        (LookupBackend::HaloNonBlocking, TableBackend::Emoma),
     ] {
-        let (ra, pa, ca) = multicore_run(backend, 12);
-        let (rb, pb, cb) = multicore_run(backend, 12);
+        let (ra, pa, ca) = multicore_run(backend, table_backend, 12);
+        let (rb, pb, cb) = multicore_run(backend, table_backend, 12);
+        let tag = format!("{backend:?}/{}", table_backend.name());
         assert_eq!(
             (ra.cores, ra.packets, ra.cycles, ra.dirty_transfers),
             (rb.cores, rb.packets, rb.cycles, rb.dirty_transfers),
-            "{backend:?}: scaling report diverged between identical runs"
+            "{tag}: scaling report diverged between identical runs"
         );
-        assert_eq!(pa, pb, "{backend:?}: per-core packet spread diverged");
-        assert_eq!(ca, cb, "{backend:?}: memory statistics diverged");
-        assert_eq!(pa.iter().sum::<u64>(), 500, "{backend:?}: packets lost");
+        assert_eq!(pa, pb, "{tag}: per-core packet spread diverged");
+        assert_eq!(ca, cb, "{tag}: memory statistics diverged");
+        assert_eq!(pa.iter().sum::<u64>(), 500, "{tag}: packets lost");
     }
 }
 
