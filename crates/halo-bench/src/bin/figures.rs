@@ -1,7 +1,7 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|ablation|ablation-backends|bench-sweep|bench-hotpath|trace|all]
+//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|scale|ablation|ablation-backends|bench-sweep|bench-hotpath|trace|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
@@ -58,7 +58,7 @@ fn main() {
         // before any sweep spawns (single-threaded here, hence safe).
         std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "bench-hotpath",
         "trace",
         "all",
@@ -73,6 +73,7 @@ fn main() {
         "table4",
         "fig13",
         "scaling",
+        "scale",
         "ablation-backends",
         "extensions",
         "bench-sweep",
@@ -224,6 +225,13 @@ fn main() {
     if want("scaling") {
         println!("## Scaling — multi-core datapath throughput\n");
         println!("{}", ex::scaling::table(&ex::scaling::run(quick)));
+    }
+    if want("scale") {
+        let rows = ex::scale::run(quick);
+        println!("## Scale — adversarial streaming workloads vs flow count\n");
+        println!("{}", ex::scale::table(&rows));
+        let json = ex::scale::to_json(&rows, quick);
+        std::fs::write("SCALE_flows.json", &json).expect("write SCALE_flows.json");
     }
     if want("ablation-backends") {
         let cells = ex::ablation_backends::run(quick);

@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig8b;
 pub mod fig9;
 pub mod harness;
+pub mod scale;
 pub mod scaling;
 pub mod table1;
 pub mod table4;

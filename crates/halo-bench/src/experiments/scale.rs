@@ -1,0 +1,375 @@
+//! Scale figure: classification latency and hybrid-mode residency as
+//! the concurrent-flow count sweeps 10^4 → 10^6+.
+//!
+//! Three adversarial streaming workloads (steady Zipf, churn, DDoS
+//! flood — [`StreamConfig`] presets) drive the multi-core datapath
+//! through [`MultiCoreDatapath::run_stream`] while the tracing sink
+//! records per-packet `datapath/classify` spans; each point reports the
+//! p50/p99 classify cycles, the miss rate, and — from a separate
+//! single-core run — how much of the traffic the hybrid controller
+//! routes to the HALO engine (its "residency"). The streaming engine
+//! costs O(1) per packet regardless of flow count, which is what makes
+//! the 10^6-flow tail of the full sweep tractable.
+
+use halo_accel::{AcceleratorConfig, HaloEngine, HybridClassifier, HybridConfig, Mode};
+use halo_datapath::TrafficEvent;
+use halo_mem::{CoreId, MachineConfig, MemorySystem};
+use halo_nf::{StreamConfig, StreamingTrafficGen};
+use halo_sim::{fmt_f64, point_seed, Cycle, SweepPoint, SweepRunner, TextTable};
+use halo_tables::{CuckooTable, FlowKey, ENTRIES_PER_BUCKET};
+use halo_vswitch::{LookupBackend, MultiCoreConfig, MultiCoreDatapath};
+
+/// The three streaming workloads of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Fixed live set, Zipf(0.99) popularity.
+    Steady,
+    /// Same skew plus ~5% arrival/expiry churn per step.
+    Churn,
+    /// Every packet a fresh, never-installed flow (pure DDoS).
+    Flood,
+}
+
+impl Workload {
+    /// All three, steady first.
+    #[must_use]
+    pub fn all() -> [Workload; 3] {
+        [Workload::Steady, Workload::Churn, Workload::Flood]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Steady => "steady",
+            Workload::Churn => "churn",
+            Workload::Flood => "flood",
+        }
+    }
+
+    /// The streaming preset for this workload at `flows` live flows.
+    #[must_use]
+    pub fn config(self, flows: usize) -> StreamConfig {
+        match self {
+            Workload::Steady => StreamConfig::steady(flows),
+            Workload::Churn => StreamConfig::churn(flows),
+            Workload::Flood => StreamConfig::ddos_flood(flows),
+        }
+    }
+}
+
+/// One measured point of the workload × flow-count sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRow {
+    /// Which streaming workload.
+    pub workload: Workload,
+    /// Live (concurrent) flows in the generator and the rule set.
+    pub flows: usize,
+    /// Packets classified by the datapath run.
+    pub packets: u64,
+    /// Datapath misses (flood flows are never installed).
+    pub misses: u64,
+    /// Flow arrivals applied to the shared tables.
+    pub arrivals: u64,
+    /// Flow expiries applied to the shared tables.
+    pub expiries: u64,
+    /// Median `datapath/classify` span, cycles.
+    pub p50_classify: u64,
+    /// 99th-percentile `datapath/classify` span, cycles.
+    pub p99_classify: u64,
+    /// Datapath packets per kilocycle.
+    pub throughput: f64,
+    /// Fraction of hybrid-controller lookups routed to the HALO engine.
+    pub hybrid_residency: f64,
+    /// Hybrid-controller mode at the end of its run.
+    pub hybrid_mode: &'static str,
+}
+
+/// A (workload, flows) cell: a traced multi-core streaming run for the
+/// latency columns plus a single-core hybrid-controller run for the
+/// residency columns.
+#[derive(Debug, Clone, Copy)]
+struct ScalePoint {
+    workload: Workload,
+    flows: usize,
+    steps: u64,
+    seed: u64,
+}
+
+impl ScalePoint {
+    fn datapath_run(&self) -> (u64, u64, u64, u64, u64, u64, f64) {
+        let mut gen = StreamingTrafficGen::new(self.workload.config(self.flows), self.seed);
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        // Histograms count every span even after the ring wraps, so a
+        // small ring keeps memory flat across the 10^6-flow points.
+        sys.enable_tracing(1 << 10);
+        let cfg = MultiCoreConfig::new(4, 8, self.flows, LookupBackend::Software, self.seed ^ 0xD0);
+        let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+        let events: Vec<TrafficEvent> = (0..self.steps).map(|_| gen.next_event()).collect();
+        let r = dp.run_stream(&mut sys, None, events);
+        let hist = sys
+            .tracer()
+            .histogram("datapath", "classify")
+            .expect("streaming run must record classify spans");
+        (
+            r.packets,
+            r.misses,
+            r.arrivals,
+            r.expiries,
+            hist.p50(),
+            hist.p99(),
+            r.throughput_per_kcy,
+        )
+    }
+
+    fn hybrid_run(&self) -> (f64, &'static str) {
+        let mut gen =
+            StreamingTrafficGen::new(self.workload.config(self.flows), self.seed ^ 0x5EED);
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+        // The exact-match table holds the hottest ranks; capping it
+        // keeps the 10^6-flow points cheap without changing what the
+        // flow register sees (it observes raw key hashes).
+        let installed = self.flows.min(1 << 14) as u64;
+        let buckets = (installed * 4 / 3 / ENTRIES_PER_BUCKET as u64)
+            .next_power_of_two()
+            .max(16);
+        let mut table = CuckooTable::create(sys.data_mut(), buckets, 13);
+        for id in 0..installed {
+            if table
+                .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
+                .is_err()
+            {
+                break;
+            }
+        }
+        let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
+        let lookups = self.steps.min(2_048);
+        let mut t = Cycle(0);
+        let mut done = 0;
+        while done < lookups {
+            if let TrafficEvent::Packet(f) = gen.next_event() {
+                let key = FlowKey::synthetic(f, 13);
+                let (_, at) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t);
+                t = at;
+                done += 1;
+            }
+        }
+        let (sw, hw) = hybrid.split();
+        let residency = hw as f64 / (sw + hw).max(1) as f64;
+        let mode = match hybrid.mode() {
+            Mode::Software => "software",
+            Mode::Halo => "halo",
+        };
+        (residency, mode)
+    }
+}
+
+impl SweepPoint for ScalePoint {
+    type Row = ScaleRow;
+
+    fn run(&self) -> ScaleRow {
+        let (packets, misses, arrivals, expiries, p50, p99, throughput) = self.datapath_run();
+        let (hybrid_residency, hybrid_mode) = self.hybrid_run();
+        ScaleRow {
+            workload: self.workload,
+            flows: self.flows,
+            packets,
+            misses,
+            arrivals,
+            expiries,
+            p50_classify: p50,
+            p99_classify: p99,
+            throughput,
+            hybrid_residency,
+            hybrid_mode,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{} / {} flows", self.workload.name(), self.flows)
+    }
+}
+
+fn points(flow_counts: &[usize], steps: u64) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for &flows in flow_counts {
+        for workload in Workload::all() {
+            out.push(ScalePoint {
+                workload,
+                flows,
+                steps,
+                seed: point_seed("scale", out.len() as u64),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the sweep on an explicit runner (see [`run`] for the default).
+#[must_use]
+pub fn run_with(quick: bool, runner: &SweepRunner) -> Vec<ScaleRow> {
+    let (flow_counts, steps): (&[usize], u64) = if quick {
+        (&[2_000, 16_000], 1_200)
+    } else {
+        (&[10_000, 100_000, 1_000_000], 20_000)
+    };
+    runner.run(points(flow_counts, steps))
+}
+
+/// A tiny deterministic slice for the tier-1 jobs-invariance guard;
+/// same point/merge path as the full sweep.
+#[must_use]
+pub fn run_small_slice(runner: &SweepRunner) -> Vec<ScaleRow> {
+    runner.run(points(&[400, 1_600], 260))
+}
+
+/// Runs the sweep with the default parallelism (`HALO_JOBS`, then host
+/// cores).
+#[must_use]
+pub fn run(quick: bool) -> Vec<ScaleRow> {
+    run_with(quick, &SweepRunner::from_env("scale"))
+}
+
+/// Formats the sweep: one row per (workload, flows).
+#[must_use]
+pub fn table(rows: &[ScaleRow]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload",
+        "flows",
+        "packets",
+        "miss%",
+        "churn",
+        "p50 classify",
+        "p99 classify",
+        "pkts/kcy",
+        "HW residency",
+        "mode",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.workload.name().to_string(),
+            r.flows.to_string(),
+            r.packets.to_string(),
+            fmt_f64(100.0 * r.misses as f64 / (r.packets.max(1)) as f64),
+            format!("{}+{}-", r.arrivals, r.expiries),
+            r.p50_classify.to_string(),
+            r.p99_classify.to_string(),
+            fmt_f64(r.throughput),
+            fmt_f64(r.hybrid_residency),
+            r.hybrid_mode.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serializes the sweep as a small JSON document (the CI bench-smoke
+/// artifact `SCALE_flows.json`). Mirrors `BENCH_sweep.json` in
+/// recording both what the host offers and what the runner overlapped.
+#[must_use]
+pub fn to_json(rows: &[ScaleRow], quick: bool) -> String {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let observed = halo_sim::observed_parallelism();
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"experiment\": \"scale\",\n  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    s.push_str(&format!("  \"observed_parallelism\": {observed},\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"flows\": {}, \"packets\": {}, \"misses\": {}, \
+             \"arrivals\": {}, \"expiries\": {}, \"p50_classify\": {}, \"p99_classify\": {}, \
+             \"throughput_per_kcy\": {:.6}, \"hybrid_residency\": {:.6}, \
+             \"hybrid_mode\": \"{}\"}}{}\n",
+            r.workload.name(),
+            r.flows,
+            r.packets,
+            r.misses,
+            r.arrivals,
+            r.expiries,
+            r.p50_classify,
+            r.p99_classify,
+            r.throughput,
+            r.hybrid_residency,
+            r.hybrid_mode,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_sim::SweepRunner;
+
+    /// The quick sweep covers the full workload × flow-count matrix
+    /// with sane shapes: floods miss (their flows are never installed),
+    /// steady traffic mostly hits, churn applies arrivals and expiries,
+    /// and the flood's hybrid controller ends pinned on the HALO path.
+    #[test]
+    fn quick_sweep_shapes() {
+        let rows = run_with(true, &SweepRunner::new("scale-test", 2).quiet());
+        assert_eq!(rows.len(), 2 * 3, "flow counts x workloads");
+        for r in &rows {
+            assert!(r.packets > 0, "{}: no packets", r.workload.name());
+            assert!(r.p99_classify >= r.p50_classify);
+            assert!(r.p50_classify > 0, "{}: empty histogram", r.workload.name());
+            assert!(r.throughput > 0.0);
+            match r.workload {
+                Workload::Steady => {
+                    assert_eq!(r.misses, 0, "steady flows are all installed");
+                    assert_eq!(r.arrivals + r.expiries, 0);
+                }
+                Workload::Churn => {
+                    assert!(r.arrivals > 0, "churn must insert");
+                    assert!(r.expiries > 0, "churn must remove");
+                }
+                Workload::Flood => {
+                    assert_eq!(r.misses, r.packets, "flood flows never match");
+                    assert_eq!(
+                        r.hybrid_mode, "halo",
+                        "a saturating flood must pin the HALO path"
+                    );
+                    assert!(r.hybrid_residency > 0.5);
+                }
+            }
+        }
+    }
+
+    /// The merged row order is deterministic and independent of the
+    /// worker count — the property `GOLDEN.sha256` pins.
+    #[test]
+    fn small_slice_is_jobs_invariant() {
+        let a = run_small_slice(&SweepRunner::new("scale-j1", 1).quiet());
+        let b = run_small_slice(&SweepRunner::new("scale-j4", 4).quiet());
+        // The parallelism header fields report a process-global
+        // high-water mark, so they are excluded from the comparison.
+        let render = |rows: &[ScaleRow]| {
+            let json: String = to_json(rows, true)
+                .lines()
+                .filter(|l| !l.contains("parallelism"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("{}\n{json}", table(rows))
+        };
+        assert_eq!(render(&a), render(&b));
+    }
+
+    /// JSON names every workload and carries the parallelism fields.
+    #[test]
+    fn json_covers_sweep() {
+        let rows = run_small_slice(&SweepRunner::new("scale-json", 1).quiet());
+        let json = to_json(&rows, true);
+        for w in Workload::all() {
+            assert!(json.contains(w.name()), "missing {}", w.name());
+        }
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"observed_parallelism\""));
+        assert_eq!(json.matches("\"workload\"").count(), rows.len());
+    }
+}

@@ -14,7 +14,11 @@
 //!   `lookup_nb` / `snapshot_read` paths must all agree with plain
 //!   software lookup and the oracle after every op). Failing sequences
 //!   are automatically shrunk to a minimal replayable trace printed as a
-//!   seed plus an op list ([`MinimalTrace`]).
+//!   seed plus an op list ([`MinimalTrace`]). The churn variant
+//!   ([`run_churn_differential`]) replays the streaming traffic
+//!   engine's arrival/expiry stream — the insert/remove pressure a
+//!   real datapath sees — against the same oracle on every exact-match
+//!   backend, auditing invariants every [`AUDIT_EPOCH`] ops.
 //! * **Invariant auditor** ([`audit_system`], [`audit_cuckoo`],
 //!   [`audit_table_placement`]) — walks
 //!   [`MemorySystem`](halo_mem::MemorySystem)/cache state and the table
@@ -45,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod audit;
+mod churn;
 mod fault;
 mod oracle;
 mod shrink;
@@ -52,6 +57,7 @@ mod shrink;
 pub use audit::{
     audit_cuckoo, audit_cuckoo_pp, audit_emoma, audit_system, audit_table_placement, Violation,
 };
+pub use churn::{audit_exact, churn_driver, churn_ops, run_churn_differential, AUDIT_EPOCH};
 pub use fault::{run_fault_injection, FaultBackend, FaultConfig, FaultReport, FaultTarget};
 pub use oracle::{
     buggy_cuckoo_driver, cuckoo_driver, cuckoo_pp_driver, emoma_driver, engine_driver,

@@ -163,6 +163,20 @@ impl Emc {
         mem.write_u64(a + Self::VALUE_OFF, value);
     }
 
+    /// Invalidates the slot holding `key`, if any — the per-flow
+    /// analogue of [`clear`](Emc::clear) used when a single MegaFlow
+    /// rule expires (flow churn) and its cached exact match must not
+    /// outlive it. Returns whether a slot was invalidated.
+    pub fn invalidate(&mut self, mem: &mut SimMemory, key: &FlowKey) -> bool {
+        for idx in self.candidate_slots(key) {
+            if self.slot_matches(mem, idx, key) {
+                mem.write_u8(self.slot_addr(idx) + Self::VALID_OFF, 0);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Invalidates every slot (e.g. on rule-table changes).
     pub fn clear(&mut self, mem: &mut SimMemory) {
         for i in 0..self.entries {
@@ -244,6 +258,19 @@ mod tests {
             .filter(|s| matches!(s, TraceStep::LoadKv(_)))
             .count();
         assert_eq!(miss_loads, EMC_WAYS);
+    }
+
+    #[test]
+    fn invalidate_hits_one_flow_only() {
+        let mut mem = SimMemory::new();
+        let mut emc = Emc::new(&mut mem, 256);
+        emc.insert(&mut mem, &key(1), 11);
+        emc.insert(&mut mem, &key(2), 22);
+        assert!(emc.invalidate(&mut mem, &key(1)));
+        assert_eq!(emc.lookup(&mut mem, &key(1)), None);
+        assert_eq!(emc.lookup(&mut mem, &key(2)), Some(22), "bystander kept");
+        assert!(!emc.invalidate(&mut mem, &key(1)), "already gone");
+        assert!(!emc.invalidate(&mut mem, &key(99)), "never cached");
     }
 
     #[test]

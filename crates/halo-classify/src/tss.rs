@@ -77,6 +77,11 @@ impl<T: FlowTable> Tuple<T> {
         &self.table
     }
 
+    /// The tuple's rule table, mutably (rule expiry and relocation).
+    pub fn table_mut(&mut self) -> &mut T {
+        &mut self.table
+    }
+
     /// Number of rules installed in this tuple.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -186,6 +191,24 @@ impl<T: FlowTable> TupleSpace<T> {
         tuple
             .table
             .insert(mem, &masked, encode_rule(priority, action))
+    }
+
+    /// Removes the rule matching `key & mask` from tuple `tuple_idx`
+    /// (flow expiry under churn). Returns the removed rule's
+    /// `(priority, action)`, or `None` if no such rule was installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple_idx` is out of range.
+    pub fn remove_rule(
+        &mut self,
+        mem: &mut SimMemory,
+        tuple_idx: usize,
+        key: &FlowKey,
+    ) -> Option<(u16, u64)> {
+        let tuple = &mut self.tuples[tuple_idx];
+        let masked = tuple.mask.apply(key);
+        tuple.table.remove(mem, &masked).map(decode_rule)
     }
 
     /// Functional classification.
@@ -364,6 +387,24 @@ mod tests {
                 "divergence at id {id}"
             );
         }
+    }
+
+    #[test]
+    fn remove_rule_roundtrips_and_misses_cleanly() {
+        let mut mem = SimMemory::new();
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(3), 256, SearchMode::FirstMatch);
+        let k = key(7);
+        tss.insert_rule(&mut mem, 1, &k, 5, 100).unwrap();
+        assert_eq!(tss.total_rules(), 1);
+        assert_eq!(tss.remove_rule(&mut mem, 1, &k), Some((5, 100)));
+        assert_eq!(tss.total_rules(), 0);
+        assert!(tss.classify(&mut mem, &k).is_none(), "expired rule hit");
+        assert_eq!(tss.remove_rule(&mut mem, 1, &k), None, "double expiry");
+        // Removal is per-tuple: the same key in another tuple survives.
+        tss.insert_rule(&mut mem, 0, &k, 1, 11).unwrap();
+        tss.insert_rule(&mut mem, 2, &k, 2, 22).unwrap();
+        assert_eq!(tss.remove_rule(&mut mem, 0, &k), Some((1, 11)));
+        assert_eq!(tss.classify(&mut mem, &k).unwrap().action, 22);
     }
 
     /// The tuple space is generic over its table backend: the SFH

@@ -88,6 +88,37 @@ pub enum LookupBackend {
 /// result (register writeback + pipeline restart).
 const BLOCKING_RESUME: Cycles = Cycles(4);
 
+/// One event of a streaming traffic workload.
+///
+/// Streaming generators (the million-flow adversarial engine in
+/// `halo-nf`) emit these; streaming consumers (the multi-core datapath's
+/// `run_stream`) apply them. The enum lives here — the layer both sides
+/// already depend on — so producers and consumers stay decoupled.
+///
+/// Flow ids are opaque `u64`s; `PacketHeader::synthetic(flow)` turns one
+/// into a concrete header/key wherever a packet is materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficEvent {
+    /// A packet of flow `flow` arrives and must be classified.
+    Packet(u64),
+    /// Flow `flow` starts: the control plane installs its rule
+    /// (insert pressure on the MegaFlow tables).
+    Arrival(u64),
+    /// Flow `flow` ends: its rule is torn down (remove pressure, EMC
+    /// invalidation, coherence traffic from the revalidator).
+    Expiry(u64),
+}
+
+impl TrafficEvent {
+    /// The flow id the event concerns.
+    #[must_use]
+    pub fn flow(self) -> u64 {
+        match self {
+            TrafficEvent::Packet(f) | TrafficEvent::Arrival(f) | TrafficEvent::Expiry(f) => f,
+        }
+    }
+}
+
 /// Destination lines for non-blocking lookups.
 ///
 /// Each in-flight `LOOKUP_NB` writes its result into one 8-byte slot;
@@ -448,6 +479,15 @@ impl DatapathCore {
         }
     }
 
+    /// Drops `key` from the EMC, if cached — called on flow expiry so a
+    /// torn-down rule's exact match cannot outlive the rule. Returns
+    /// whether an entry was invalidated.
+    pub fn invalidate(&mut self, mem: &mut SimMemory, key: &FlowKey) -> bool {
+        self.emc
+            .as_mut()
+            .is_some_and(|emc| emc.invalidate(mem, key))
+    }
+
     /// Classifies one packet: EMC probe (skipped when disabled), then —
     /// on miss — the MegaFlow search via the executor's backend, then
     /// promotion of the hit per the policy. `key_addr` is the packet
@@ -492,6 +532,7 @@ impl DatapathCore {
             emc_done = Some(done);
             t = done;
             if let Some(v) = trace.result {
+                sys.trace_span("datapath", "classify", at, t);
                 return ClassifyOutcome {
                     action: Some(v),
                     emc_hit: true,
@@ -512,6 +553,7 @@ impl DatapathCore {
         if let Some(hit) = &m {
             self.promote(sys.data_mut(), key, hit.action);
         }
+        sys.trace_span("datapath", "classify", at, done);
         ClassifyOutcome {
             action: m.as_ref().map(|h| h.action),
             emc_hit: false,
@@ -593,5 +635,59 @@ mod tests {
                 "promotion={promote} must gate the EMC hit"
             );
         }
+    }
+
+    /// With tracing enabled every classify call records one
+    /// `("datapath", "classify")` span — EMC hits and MegaFlow walks
+    /// alike — whose latency matches the outcome's cycle delta.
+    #[test]
+    fn classify_records_latency_spans_when_traced() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        sys.enable_tracing(1024);
+        let exec = LookupExecutor::new(&mut sys, CoreId(0), LookupBackend::Software);
+        let emc = Emc::new(sys.data_mut(), 1024);
+        let mut megaflow = TupleSpace::new(
+            sys.data_mut(),
+            distinct_masks(4),
+            256,
+            SearchMode::FirstMatch,
+        );
+        let key = PacketHeader::synthetic(3).miniflow();
+        megaflow.insert_rule(sys.data_mut(), 2, &key, 0, 7).unwrap();
+        let mut dp = DatapathCore::new(exec, Some(emc), LookupBackend::Software, true);
+        let mut t = Cycle(0);
+        for _ in 0..10 {
+            t = dp.classify(&mut sys, None, &megaflow, &key, None, t).done;
+        }
+        let h = sys
+            .tracer()
+            .histogram("datapath", "classify")
+            .expect("classify spans recorded");
+        assert_eq!(h.count(), 10);
+        assert!(h.p99() > 0, "classify latency cannot be zero cycles");
+    }
+
+    /// Expiring a flow drops its EMC entry: the next packet walks
+    /// MegaFlow again instead of hitting a stale cached action.
+    #[test]
+    fn invalidate_evicts_promoted_flows() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let exec = LookupExecutor::new(&mut sys, CoreId(0), LookupBackend::Software);
+        let emc = Emc::new(sys.data_mut(), 1024);
+        let mut megaflow = TupleSpace::new(
+            sys.data_mut(),
+            distinct_masks(4),
+            256,
+            SearchMode::FirstMatch,
+        );
+        let key = PacketHeader::synthetic(3).miniflow();
+        megaflow.insert_rule(sys.data_mut(), 2, &key, 0, 7).unwrap();
+        let mut dp = DatapathCore::new(exec, Some(emc), LookupBackend::Software, true);
+        let first = dp.classify(&mut sys, None, &megaflow, &key, None, Cycle(0));
+        assert!(dp.invalidate(sys.data_mut(), &key), "promoted entry gone");
+        megaflow.remove_rule(sys.data_mut(), 2, &key);
+        let after = dp.classify(&mut sys, None, &megaflow, &key, None, first.done);
+        assert!(!after.emc_hit, "stale EMC entry survived expiry");
+        assert_eq!(after.action, None, "expired flow must miss everywhere");
     }
 }

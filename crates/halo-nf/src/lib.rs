@@ -6,6 +6,9 @@
 //! * [`TrafficGen`] / [`Scenario`] — the IXIA-like synthetic packet
 //!   source with the five Fig. 3 configurations
 //!   ([`fig3_configs`]).
+//! * [`StreamingTrafficGen`] / [`StreamConfig`] — the million-flow
+//!   adversarial streaming engine: Zipf skew over a churning live set,
+//!   elephant/mice mixes, and DDoS floods, all O(1) per packet.
 //! * [`ComputeNf`] — ACL / Snort / mTCP models for the co-location
 //!   interference study (Fig. 12).
 //! * [`HashNf`] — NAT / prads / packet-filter models, the hash-table-
@@ -32,9 +35,11 @@
 mod colocate;
 mod compute_nf;
 mod hash_nf;
+mod streaming;
 mod traffic;
 
 pub use colocate::{colocation_experiment, ColocationReport, SwitchImpl};
 pub use compute_nf::{ComputeNf, ComputeNfKind};
 pub use hash_nf::{HashNf, HashNfKind, HashNfReport};
+pub use streaming::{StreamConfig, StreamingTrafficGen};
 pub use traffic::{fig3_configs, Scenario, TrafficGen};

@@ -1,0 +1,416 @@
+//! The streaming adversarial traffic engine: million-flow workloads
+//! with O(1) per-packet cost.
+//!
+//! [`TrafficGen`](crate::TrafficGen) replays the paper's five Table-3
+//! shapes over a *fixed* flow set. This module generates the regime
+//! ROADMAP item 2 calls for — the one where HALO's value is actually
+//! decided (and where the PR-4 FlowRegister saturation bug lived):
+//!
+//! * **Zipfian popularity** with configurable α over the *live* flow
+//!   set, sampled in O(1) via [`StreamZipf`] (no CDF rebuild, no
+//!   O(flows) scan, ever);
+//! * **flow churn** — paired arrival/expiry events that drive
+//!   insert/remove pressure (cuckoo displacement storms, Cuckoo++
+//!   filter reversal, EMOMA re-homing) while conserving the live count;
+//! * **elephant/mice mixes** — a small pinned hot set taking a fixed
+//!   share of packets over a uniform mouse tail;
+//! * **DDoS floods** — never-repeating short flows that thrash the EMC
+//!   and saturate the hybrid classifier's flow register.
+//!
+//! The generator emits [`TrafficEvent`]s, not packets: consumers that
+//! own tables (the multi-core datapath's `run_stream`, the `halo-check`
+//! churn oracle) apply arrivals/expiries as inserts/removes so the
+//! tables track the generator's live set exactly.
+//!
+//! # O(1) per packet, by construction
+//!
+//! Live flows sit in a `Vec` ordered hottest-first: Zipf rank *r* maps
+//! to `live[r]`. Arrivals push to the cold end; expiries pick a uniform
+//! victim and `swap_remove` it. Every packet costs one ranked sample
+//! plus one index — no allocation, no scan, independent of the live
+//! count. (The `swap_remove` permutes one rank per expiry; popularity
+//! stays Zipf-shaped in aggregate, and the rank-frequency property
+//! tests pin the churn-free ordering exactly.)
+
+use crate::traffic::Scenario;
+use halo_classify::PacketHeader;
+use halo_datapath::TrafficEvent;
+use halo_sim::{SplitMix64, StreamZipf};
+
+/// Configuration of a [`StreamingTrafficGen`].
+///
+/// Compose scenarios by mixing the knobs; the constructors cover the
+/// four adversarial presets the scale figure sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Initial live (concurrent) flows.
+    pub flows: usize,
+    /// Zipf exponent of flow popularity (0 = uniform, 0.99 = the
+    /// paper's data-center skew).
+    pub theta: f64,
+    /// Probability that a generator step emits a paired
+    /// arrival + expiry instead of a packet (0 disables churn). The
+    /// pairing conserves the live-flow count, so table capacity and
+    /// sampler state stay bounded at any stream length.
+    pub churn_per_packet: f64,
+    /// Size of the pinned elephant set (0 disables the mix).
+    pub elephants: usize,
+    /// Probability a packet comes from the elephant set (uniform within
+    /// it) rather than the Zipf-ranked tail.
+    pub elephant_share: f64,
+    /// Probability a packet belongs to a brand-new, never-repeating
+    /// flood flow that is *not* installed in any table (1.0 = pure
+    /// DDoS).
+    pub flood_share: f64,
+}
+
+impl StreamConfig {
+    /// Steady state: a fixed live set under the paper's 0.99 skew.
+    #[must_use]
+    pub fn steady(flows: usize) -> Self {
+        StreamConfig {
+            flows,
+            theta: 0.99,
+            churn_per_packet: 0.0,
+            elephants: 0,
+            elephant_share: 0.0,
+            flood_share: 0.0,
+        }
+    }
+
+    /// Churn: skewed traffic with ~5% of steps replacing a live flow —
+    /// sustained insert/remove pressure on the exact-match backends.
+    #[must_use]
+    pub fn churn(flows: usize) -> Self {
+        StreamConfig {
+            churn_per_packet: 0.05,
+            ..StreamConfig::steady(flows)
+        }
+    }
+
+    /// Elephant/mice: a tiny hot set takes 90% of packets; the rest is
+    /// a uniform mouse tail over the live set.
+    #[must_use]
+    pub fn elephant_mice(flows: usize) -> Self {
+        StreamConfig {
+            theta: 0.0,
+            elephants: 16.max(flows / 1000),
+            elephant_share: 0.9,
+            ..StreamConfig::steady(flows)
+        }
+    }
+
+    /// DDoS flood: every packet is a fresh, never-repeating flow on top
+    /// of the installed live set — the EMC-thrashing, register-
+    /// saturating regime of the PR-4 bug.
+    #[must_use]
+    pub fn ddos_flood(flows: usize) -> Self {
+        StreamConfig {
+            flood_share: 1.0,
+            ..StreamConfig::steady(flows)
+        }
+    }
+
+    /// The streaming equivalent of a Table-3 [`Scenario`]: same flow
+    /// count and skew, no churn and no flood.
+    #[must_use]
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        StreamConfig {
+            theta: scenario.zipf_theta(),
+            ..StreamConfig::steady(scenario.flows())
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.flows > 0, "streaming over zero flows");
+        for (name, p) in [
+            ("churn_per_packet", self.churn_per_packet),
+            ("elephant_share", self.elephant_share),
+            ("flood_share", self.flood_share),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of [0,1]: {p}");
+        }
+        assert!(
+            self.theta >= 0.0 && self.theta.is_finite(),
+            "invalid zipf exponent"
+        );
+    }
+}
+
+/// A deterministic, unbounded stream of [`TrafficEvent`]s over a
+/// churning flow population.
+///
+/// # Examples
+///
+/// ```
+/// use halo_datapath::TrafficEvent;
+/// use halo_nf::{StreamConfig, StreamingTrafficGen};
+///
+/// let mut gen = StreamingTrafficGen::new(StreamConfig::churn(1000), 42);
+/// let mut packets = 0;
+/// for _ in 0..100 {
+///     if let TrafficEvent::Packet(flow) = gen.next_event() {
+///         packets += 1;
+///         let _ = flow;
+///     }
+/// }
+/// assert!(packets > 0);
+/// // Conservation: arrivals and expiries balance the live count.
+/// assert_eq!(
+///     gen.live_count() as u64,
+///     1000 + gen.arrivals() - gen.expiries()
+/// );
+/// ```
+#[derive(Debug)]
+pub struct StreamingTrafficGen {
+    cfg: StreamConfig,
+    rng: SplitMix64,
+    /// Live flow ids, hottest-first: Zipf rank `r` reads `live[r]`.
+    live: Vec<u64>,
+    zipf: StreamZipf,
+    /// An expiry queued behind the arrival it pairs with (at most one).
+    pending: Option<TrafficEvent>,
+    /// Next fresh flow id; monotone, never reused — arrivals and flood
+    /// flows share the sequence so every id names one flow, ever.
+    next_id: u64,
+    arrivals: u64,
+    expiries: u64,
+    floods: u64,
+    packets: u64,
+}
+
+impl StreamingTrafficGen {
+    /// Creates a generator: flows `0..cfg.flows` start live (matching
+    /// consumers that pre-install that id range as rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is out of range (zero flows, probabilities
+    /// outside `[0, 1]`, bad exponent).
+    #[must_use]
+    pub fn new(cfg: StreamConfig, seed: u64) -> Self {
+        cfg.validate();
+        StreamingTrafficGen {
+            cfg,
+            rng: SplitMix64::new(seed),
+            live: (0..cfg.flows as u64).collect(),
+            zipf: StreamZipf::new(cfg.flows, cfg.theta),
+            pending: None,
+            next_id: cfg.flows as u64,
+            arrivals: 0,
+            expiries: 0,
+            floods: 0,
+            packets: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Currently live flows (ids, hottest rank first).
+    #[must_use]
+    pub fn live_flows(&self) -> &[u64] {
+        &self.live
+    }
+
+    /// Number of currently live flows.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Flow arrivals emitted so far.
+    #[must_use]
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Flow expiries emitted so far.
+    #[must_use]
+    pub fn expiries(&self) -> u64 {
+        self.expiries
+    }
+
+    /// Never-repeating flood packets emitted so far.
+    #[must_use]
+    pub fn floods(&self) -> u64 {
+        self.floods
+    }
+
+    /// Packets emitted so far (flood packets included).
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// The next event of the stream. Cost is O(1) in the live-flow
+    /// count: one ranked sample plus constant bookkeeping.
+    ///
+    /// Churn steps emit an [`TrafficEvent::Arrival`] immediately
+    /// followed (next call) by the paired [`TrafficEvent::Expiry`], so
+    /// consumers see the insert before the remove and the live count
+    /// they maintain never dips.
+    pub fn next_event(&mut self) -> TrafficEvent {
+        if let Some(e) = self.pending.take() {
+            return e;
+        }
+        if self.cfg.churn_per_packet > 0.0 && self.rng.chance(self.cfg.churn_per_packet) {
+            let born = self.next_id;
+            self.next_id += 1;
+            let victim = self.rng.below(self.live.len() as u64) as usize;
+            let dead = self.live[victim];
+            // The newborn takes the victim's rank slot: O(1), and the
+            // expected popularity of a slot is preserved across churn.
+            self.live[victim] = born;
+            self.arrivals += 1;
+            self.expiries += 1;
+            self.pending = Some(TrafficEvent::Expiry(dead));
+            return TrafficEvent::Arrival(born);
+        }
+        TrafficEvent::Packet(self.next_flow())
+    }
+
+    /// The flow id of the next packet (flood, elephant, or Zipf tail).
+    fn next_flow(&mut self) -> u64 {
+        self.packets += 1;
+        if self.cfg.flood_share > 0.0 && self.rng.chance(self.cfg.flood_share) {
+            self.floods += 1;
+            let id = self.next_id;
+            self.next_id += 1;
+            return id; // never enters `live`: by construction unrepeatable
+        }
+        if self.cfg.elephants > 0 && self.rng.chance(self.cfg.elephant_share) {
+            let herd = self.cfg.elephants.min(self.live.len()) as u64;
+            return self.live[self.rng.below(herd) as usize];
+        }
+        if self.zipf.len() != self.live.len() {
+            self.zipf.resize(self.live.len());
+        }
+        self.live[self.zipf.sample(&mut self.rng)]
+    }
+
+    /// Skips non-packet events and returns the next packet's header —
+    /// for consumers without tables to keep in sync (e.g. the hybrid
+    /// classifier's flow register, which only sees packets).
+    pub fn next_packet(&mut self) -> PacketHeader {
+        loop {
+            if let TrafficEvent::Packet(flow) = self.next_event() {
+                return PacketHeader::synthetic(flow);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_is_packets_only_and_live() {
+        let mut g = StreamingTrafficGen::new(StreamConfig::steady(500), 1);
+        for _ in 0..2_000 {
+            match g.next_event() {
+                TrafficEvent::Packet(f) => assert!(f < 500, "unknown flow {f}"),
+                e => panic!("steady stream emitted {e:?}"),
+            }
+        }
+        assert_eq!(g.live_count(), 500);
+        assert_eq!(g.arrivals() + g.expiries() + g.floods(), 0);
+    }
+
+    #[test]
+    fn churn_pairs_arrivals_with_expiries_in_order() {
+        let mut g = StreamingTrafficGen::new(StreamConfig::churn(200), 2);
+        let mut expect_expiry_of: Option<u64> = None;
+        let mut churned = 0;
+        for _ in 0..5_000 {
+            match g.next_event() {
+                TrafficEvent::Arrival(f) => {
+                    assert!(expect_expiry_of.is_none(), "arrival inside a pair");
+                    assert!(f >= 200, "arrivals must be fresh ids");
+                    expect_expiry_of = Some(f);
+                }
+                TrafficEvent::Expiry(dead) => {
+                    let born = expect_expiry_of.take().expect("unpaired expiry");
+                    assert_ne!(dead, born, "a flow expired at birth");
+                    churned += 1;
+                }
+                TrafficEvent::Packet(_) => {
+                    assert!(expect_expiry_of.is_none(), "packet split a churn pair");
+                }
+            }
+        }
+        assert!(churned > 50, "churn never triggered: {churned}");
+        assert_eq!(g.live_count(), 200, "paired churn conserves the count");
+    }
+
+    #[test]
+    fn flood_flows_never_repeat() {
+        let mut g = StreamingTrafficGen::new(StreamConfig::ddos_flood(64), 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3_000 {
+            if let TrafficEvent::Packet(f) = g.next_event() {
+                assert!(f >= 64, "flood packet from the live set");
+                assert!(seen.insert(f), "flood flow {f} repeated");
+            }
+        }
+        assert_eq!(g.floods(), 3_000);
+    }
+
+    #[test]
+    fn elephants_take_their_share() {
+        let cfg = StreamConfig::elephant_mice(10_000);
+        let mut g = StreamingTrafficGen::new(cfg, 4);
+        let herd = cfg.elephants as u64;
+        let mut hot = 0u64;
+        const N: u64 = 10_000;
+        for _ in 0..N {
+            if let TrafficEvent::Packet(f) = g.next_event() {
+                if f < herd {
+                    hot += 1;
+                }
+            }
+        }
+        // 90% nominal share, wide tolerance: uniform would give ~0.16%.
+        assert!(hot > N * 8 / 10, "elephant share too small: {hot}/{N}");
+        assert!(hot < N, "mice starved entirely");
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mk = |seed| {
+            let mut g = StreamingTrafficGen::new(StreamConfig::churn(300), seed);
+            (0..1_000).map(|_| g.next_event()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7), "same seed, same stream");
+        assert_ne!(mk(7), mk(8), "different seed, different stream");
+    }
+
+    #[test]
+    fn scenario_bridge_preserves_shape() {
+        let s = Scenario::ManyFlowsHotRules {
+            flows: 5_000,
+            rules: 20,
+        };
+        let cfg = StreamConfig::from_scenario(&s);
+        assert_eq!(cfg.flows, 5_000);
+        assert!((cfg.theta - 0.99).abs() < 1e-12);
+        assert_eq!(cfg.flood_share, 0.0);
+        let mut g = StreamingTrafficGen::new(cfg, 5);
+        let h = g.next_packet();
+        assert_eq!(h.miniflow().len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_share_is_rejected() {
+        let cfg = StreamConfig {
+            flood_share: 1.5,
+            ..StreamConfig::steady(10)
+        };
+        let _ = StreamingTrafficGen::new(cfg, 0);
+    }
+}

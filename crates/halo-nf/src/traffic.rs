@@ -65,6 +65,15 @@ impl Scenario {
             _ => 0.0,
         }
     }
+
+    /// Upgrades the scenario to the streaming engine: same flow count
+    /// and skew as [`TrafficGen`], but event-based and composable with
+    /// churn, elephant/mice, and flood knobs via
+    /// [`StreamConfig`](crate::StreamConfig).
+    #[must_use]
+    pub fn streaming(&self, seed: u64) -> crate::StreamingTrafficGen {
+        crate::StreamingTrafficGen::new(crate::StreamConfig::from_scenario(self), seed)
+    }
 }
 
 /// The five Fig. 3 configurations, scaled to simulation-friendly flow
@@ -250,5 +259,15 @@ mod tests {
     fn all_flows_enumerates_exactly() {
         let g = TrafficGen::new(Scenario::SmallFlows { flows: 10 }, 1);
         assert_eq!(g.all_flows().count(), 10);
+    }
+
+    #[test]
+    fn streaming_bridge_stays_within_the_scenario_flow_set() {
+        let mut g = Scenario::SmallFlows { flows: 100 }.streaming(1);
+        for _ in 0..500 {
+            let h = g.next_packet();
+            assert_eq!(h.miniflow().len(), 16);
+        }
+        assert_eq!(g.live_count(), 100, "no churn in the plain bridge");
     }
 }

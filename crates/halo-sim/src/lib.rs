@@ -52,7 +52,7 @@ mod trace;
 
 pub use cycle::{Cycle, Cycles, CORE_HZ};
 pub use resource::{BankedResource, OutstandingWindow, Resource};
-pub use rng::{SplitMix64, Zipf};
+pub use rng::{SplitMix64, StreamZipf, Zipf};
 pub use stats::{Counter, StatId, Stats, Summary};
 pub use sweep::{
     default_jobs, observed_parallelism, point_seed, FnPoint, SweepPoint, SweepRunner, SweepTiming,

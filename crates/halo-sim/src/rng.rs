@@ -149,6 +149,136 @@ impl Zipf {
     }
 }
 
+/// A Zipf sampler for *streaming* workloads whose rank count changes
+/// over time (flow churn), with per-sample cost independent of the rank
+/// count for the common exponents.
+///
+/// [`Zipf`] materializes a full CDF up front — fine for a fixed flow
+/// set, but rebuilding it on every arrival/expiry would make churn
+/// O(flows) per event. `StreamZipf` instead keeps the harmonic prefix
+/// sums `zeta[k] = Σ_{i=1..k} i^-θ` in a lazily grown array:
+///
+/// * growing to a larger rank count appends only the new terms
+///   (amortized O(1) per rank ever reached);
+/// * shrinking is a plain counter update (the prefix stays valid);
+/// * sampling uses the Gray et al. closed-form inverse for `θ < 1`
+///   (the regime of the paper's 0.99 skew) — O(1) per sample — and an
+///   exact binary search over the prefix sums for `θ ≥ 1`
+///   (O(log n), still no O(flows) scan).
+///
+/// # Examples
+///
+/// ```
+/// use halo_sim::{SplitMix64, StreamZipf};
+///
+/// let mut rng = SplitMix64::new(7);
+/// let mut zipf = StreamZipf::new(1000, 0.99);
+/// assert!(zipf.sample(&mut rng) < 1000);
+/// zipf.resize(2000); // churn grew the live set — O(new ranks), once
+/// assert!(zipf.sample(&mut rng) < 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamZipf {
+    theta: f64,
+    /// `zeta[k]` = Σ_{i=1..k} i^-θ; `zeta[0]` = 0. Grown lazily and
+    /// never shrunk, so `resize` down and back up costs nothing.
+    zeta: Vec<f64>,
+    /// Current rank count; samples fall in `0..n`.
+    n: usize,
+}
+
+impl StreamZipf {
+    /// Builds a sampler over `n` ranks with exponent `theta`
+    /// (`theta == 0` degenerates to uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid zipf exponent");
+        let mut z = StreamZipf {
+            theta,
+            zeta: vec![0.0],
+            n: 0,
+        };
+        z.resize(n);
+        z
+    }
+
+    /// Sets the rank count to `n`, extending the prefix sums only past
+    /// the high-water mark reached so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn resize(&mut self, n: usize) {
+        assert!(n > 0, "zipf over zero ranks");
+        while self.zeta.len() <= n {
+            let k = self.zeta.len() as f64;
+            let last = *self.zeta.last().expect("seeded with zeta[0]");
+            self.zeta.push(last + k.powf(-self.theta));
+        }
+        self.n = n;
+    }
+
+    /// Current rank count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the sampler has exactly one rank.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // constructed and resized with n > 0
+    }
+
+    /// The exponent θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..len()`: rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let n = self.n;
+        if self.theta == 0.0 {
+            return rng.below(n as u64) as usize;
+        }
+        if n == 1 {
+            rng.next_u64(); // keep the stream position scenario-independent
+            return 0;
+        }
+        let zn = self.zeta[n];
+        if self.theta < 1.0 {
+            // Gray et al. ("Quickly generating billion-record synthetic
+            // databases", SIGMOD '94): closed-form inverse of the zeta
+            // CDF, exact at ranks 0 and 1 and a tight continuous
+            // approximation beyond — constant cost at any n.
+            let u = rng.next_f64();
+            let uz = u * zn;
+            if uz < 1.0 {
+                return 0;
+            }
+            if uz < 1.0 + 0.5f64.powf(self.theta) {
+                return 1;
+            }
+            let alpha = 1.0 / (1.0 - self.theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta[2] / zn);
+            let rank = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as usize;
+            rank.min(n - 1)
+        } else {
+            // θ ≥ 1: the closed form has no stable branch, so invert the
+            // CDF exactly by binary search over the prefix sums.
+            let target = rng.next_f64() * zn;
+            let i = self.zeta[1..=n].partition_point(|&z| z < target);
+            i.min(n - 1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +360,76 @@ mod tests {
         let mut rng = SplitMix64::new(8);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn stream_zipf_stays_in_bounds_across_resizes() {
+        let mut rng = SplitMix64::new(9);
+        let mut z = StreamZipf::new(100, 0.99);
+        for n in [100usize, 1, 7, 5000, 50] {
+            z.resize(n);
+            assert_eq!(z.len(), n);
+            for _ in 0..500 {
+                assert!(z.sample(&mut rng) < n, "rank escaped 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_zipf_matches_cdf_zipf_in_shape() {
+        // Same skew target as `Zipf::new(1000, 1.0)`: the exact θ ≥ 1
+        // branch must concentrate ~39% of mass on the top 10 ranks.
+        let mut rng = SplitMix64::new(5);
+        let z = StreamZipf::new(1000, 1.0);
+        let mut low = 0usize;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > SAMPLES / 4, "stream zipf not skewed: {low}");
+    }
+
+    #[test]
+    fn stream_zipf_closed_form_is_skewed_below_one() {
+        let mut rng = SplitMix64::new(11);
+        let z = StreamZipf::new(100_000, 0.99);
+        let mut top = 0usize;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if z.sample(&mut rng) < 1000 {
+                top += 1;
+            }
+        }
+        // Zipf(0.99) over 1e5 ranks puts well over a third of the mass
+        // on the top 1% — uniform would put 1%.
+        assert!(top > SAMPLES / 4, "closed form not skewed: {top}");
+    }
+
+    #[test]
+    fn stream_zipf_zero_theta_is_uniformish() {
+        let mut rng = SplitMix64::new(12);
+        let z = StreamZipf::new(10, 0.0);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1_500 && c < 2_500, "non-uniform bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn stream_zipf_resize_is_amortized_prefix_growth() {
+        let mut z = StreamZipf::new(10, 0.9);
+        let grown = z.zeta.len();
+        z.resize(1000);
+        assert_eq!(z.zeta.len(), 1001);
+        z.resize(10); // shrink: prefix kept
+        assert_eq!(z.zeta.len(), 1001);
+        z.resize(1000); // regrow: no recomputation needed
+        assert_eq!(z.zeta.len(), 1001);
+        assert!(grown < 1001);
     }
 }

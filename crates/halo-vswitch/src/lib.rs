@@ -32,7 +32,7 @@
 mod multicore;
 mod pipeline;
 
-pub use multicore::{MultiCoreConfig, MultiCoreDatapath, ScalingReport};
+pub use multicore::{MultiCoreConfig, MultiCoreDatapath, ScalingReport, StreamReport};
 pub use pipeline::{Breakdown, LookupBackend, SwitchConfig, SwitchCounters, VirtualSwitch};
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ use halo_accel::HaloEngine;
 use halo_classify::{
     distinct_masks, Emc, PacketHeader, SearchMode, Tuple, TupleSpace, MINIFLOW_LEN,
 };
-use halo_datapath::{DatapathCore, ExactTable, LookupExecutor, NbRegion, TableBackend};
+use halo_datapath::{
+    DatapathCore, ExactTable, LookupExecutor, NbRegion, TableBackend, TrafficEvent,
+};
 use halo_mem::{CoreId, MemorySystem, CACHE_LINE};
 use halo_sim::{Cycle, SplitMix64};
 use halo_tables::{hash_key, SEED_PRIMARY};
@@ -98,6 +100,31 @@ pub struct MultiCoreDatapath {
     rng: SplitMix64,
 }
 
+/// Aggregate result of a streaming (event-driven) multi-core run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamReport {
+    /// Datapath threads used.
+    pub cores: usize,
+    /// Packets classified.
+    pub packets: u64,
+    /// Packets no layer matched (flood flows, rejected installs).
+    pub misses: u64,
+    /// Rules installed by flow arrivals.
+    pub arrivals: u64,
+    /// Rules torn down by flow expiries.
+    pub expiries: u64,
+    /// Arrival installs the tuple's table refused (capacity pressure
+    /// under displacement storms — counted, not fatal, like OVS
+    /// upcall drops).
+    pub rejected_installs: u64,
+    /// Wall-clock cycles (max over core clocks).
+    pub cycles: u64,
+    /// Aggregate packets per kilocycle.
+    pub throughput_per_kcy: f64,
+    /// Remote-dirty cache-line transfers observed (coherence traffic).
+    pub dirty_transfers: u64,
+}
+
 /// Aggregate result of a multi-core run.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingReport {
@@ -122,6 +149,7 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<MultiCoreDatapath>();
     assert_send::<ScalingReport>();
+    assert_send::<StreamReport>();
 };
 
 impl MultiCoreDatapath {
@@ -238,13 +266,14 @@ impl MultiCoreDatapath {
     }
 
     /// Classifies one packet on PMD `p` starting at its local clock.
+    /// Returns whether any layer matched.
     fn classify_one(
         &mut self,
         sys: &mut MemorySystem,
         engine: Option<&mut HaloEngine>,
         p: usize,
         flow: u64,
-    ) {
+    ) -> bool {
         let key = PacketHeader::synthetic(flow).miniflow();
         let pmd = &mut self.pmds[p];
         pmd.packets += 1;
@@ -252,6 +281,7 @@ impl MultiCoreDatapath {
             .dp
             .classify(sys, engine, &self.megaflow, &key, None, pmd.clock);
         pmd.clock = out.done;
+        out.action.is_some()
     }
 
     /// Runs `packets` packets spread across the PMDs by flow hash (RSS),
@@ -298,6 +328,101 @@ impl MultiCoreDatapath {
             throughput_per_kcy: 1000.0 * packets as f64 / cycles as f64,
             dirty_transfers: sys.stats().counter("llc.dirty_snoop") - dirty_before,
         }
+    }
+
+    /// Which tuple a flow's rule lives in (the same `flow % tuples`
+    /// placement [`with_config`](MultiCoreDatapath::with_config) used
+    /// for the initial rule set).
+    fn tuple_of(&self, flow: u64) -> usize {
+        (flow % self.megaflow.tuples().len() as u64) as usize
+    }
+
+    /// A timed revalidator store to tuple `ti`'s version line — the
+    /// core-to-core coherence cost every table write carries in §3.4.
+    fn revalidate(&mut self, sys: &mut MemorySystem, ti: usize, at: Cycle) {
+        let wcore = CoreId(sys.config().cores - 1);
+        let va = self.megaflow.tuples()[ti].table().version_addr();
+        sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+    }
+
+    /// Runs a streaming workload: packets are classified exactly as in
+    /// [`run`](MultiCoreDatapath::run) (RSS by flow hash), while
+    /// arrival/expiry events drive the control plane — rule inserts and
+    /// removes on the shared MegaFlow tables (cuckoo displacement,
+    /// Cuckoo++ filter reversal, EMOMA re-homing under churn), per-core
+    /// EMC invalidation on expiry, and revalidator version-line stores
+    /// for the coherence traffic every table write implies.
+    ///
+    /// Events come from any iterator — typically a
+    /// `StreamingTrafficGen` from `halo-nf` mapped through
+    /// `next_event` — so the datapath stays decoupled from the
+    /// generator. Cost per event is O(1) in the live-flow count.
+    pub fn run_stream(
+        &mut self,
+        sys: &mut MemorySystem,
+        mut engine: Option<&mut HaloEngine>,
+        events: impl IntoIterator<Item = TrafficEvent>,
+    ) -> StreamReport {
+        let dirty_before = sys.stats().counter("llc.dirty_snoop");
+        let mut r = StreamReport {
+            cores: self.pmds.len(),
+            ..StreamReport::default()
+        };
+        for ev in events {
+            match ev {
+                TrafficEvent::Packet(flow) => {
+                    let p = (hash_key(&PacketHeader::synthetic(flow).miniflow(), SEED_PRIMARY)
+                        % self.pmds.len() as u64) as usize;
+                    let hit = self.classify_one(sys, engine.as_deref_mut(), p, flow);
+                    r.packets += 1;
+                    if !hit {
+                        r.misses += 1;
+                    }
+                }
+                TrafficEvent::Arrival(flow) => {
+                    let key = PacketHeader::synthetic(flow).miniflow();
+                    let ti = self.tuple_of(flow);
+                    let at = self.front(); // control plane acts "now"
+                    if self
+                        .megaflow
+                        .insert_rule(sys.data_mut(), ti, &key, 0, flow)
+                        .is_err()
+                    {
+                        r.rejected_installs += 1;
+                    }
+                    self.revalidate(sys, ti, at);
+                    r.arrivals += 1;
+                }
+                TrafficEvent::Expiry(flow) => {
+                    let key = PacketHeader::synthetic(flow).miniflow();
+                    let ti = self.tuple_of(flow);
+                    let at = self.front();
+                    self.megaflow.remove_rule(sys.data_mut(), ti, &key);
+                    // A torn-down rule's cached exact match must die with
+                    // it on every core, or stale actions keep matching.
+                    for pmd in &mut self.pmds {
+                        pmd.dp.invalidate(sys.data_mut(), &key);
+                    }
+                    self.revalidate(sys, ti, at);
+                    r.expiries += 1;
+                }
+            }
+        }
+        r.cycles = self
+            .pmds
+            .iter()
+            .map(|p| p.clock.0)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        r.throughput_per_kcy = 1000.0 * r.packets as f64 / r.cycles as f64;
+        r.dirty_transfers = sys.stats().counter("llc.dirty_snoop") - dirty_before;
+        r
+    }
+
+    /// The most advanced PMD clock (the streaming control plane's "now").
+    fn front(&self) -> Cycle {
+        Cycle(self.pmds.iter().map(|p| p.clock.0).max().unwrap_or(0))
     }
 
     /// Per-PMD packet counts (for load-balance checks).
@@ -416,6 +541,62 @@ mod tests {
                 "{} made no progress",
                 table_backend.name()
             );
+        }
+    }
+
+    /// The streaming entry point applies arrivals/expiries to the
+    /// shared tables: an expired flow stops matching (no stale EMC
+    /// entry either), an arrived flow starts matching.
+    #[test]
+    fn stream_events_churn_the_rule_set() {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut dp = MultiCoreDatapath::new(&mut sys, 2, 5, 1_000, LookupBackend::Software, 7);
+        // Warm flow 3 into an EMC, expire it, then look it up again.
+        let warm = vec![TrafficEvent::Packet(3), TrafficEvent::Packet(3)];
+        let r = dp.run_stream(&mut sys, None, warm);
+        assert_eq!(r.packets, 2);
+        assert_eq!(r.misses, 0, "installed flow must match");
+        let churn = vec![
+            TrafficEvent::Expiry(3),
+            TrafficEvent::Packet(3),
+            TrafficEvent::Arrival(5_000),
+            TrafficEvent::Packet(5_000),
+        ];
+        let r = dp.run_stream(&mut sys, None, churn);
+        assert_eq!(r.arrivals, 1);
+        assert_eq!(r.expiries, 1);
+        assert_eq!(
+            r.misses, 1,
+            "exactly the expired flow misses; the newborn hits"
+        );
+        assert!(r.dirty_transfers > 0, "table writes imply coherence");
+    }
+
+    /// Streaming works over every exact-match backend, including the
+    /// remove-heavy paths (Cuckoo++ filter reversal, EMOMA re-homing).
+    #[test]
+    fn stream_churns_every_backend() {
+        for table_backend in TableBackend::all() {
+            let mut sys = MemorySystem::new(MachineConfig::default());
+            let mut cfg = MultiCoreConfig::new(4, 5, 1_000, LookupBackend::Software, 42);
+            cfg.table_backend = table_backend;
+            let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+            let mut rng = SplitMix64::new(9);
+            let mut next_id = 1_000u64;
+            let mut events = Vec::new();
+            for _ in 0..200 {
+                events.push(TrafficEvent::Packet(rng.below(1_000)));
+                if rng.chance(0.2) {
+                    events.push(TrafficEvent::Arrival(next_id));
+                    events.push(TrafficEvent::Expiry(rng.below(1_000)));
+                    next_id += 1;
+                }
+            }
+            let r = dp.run_stream(&mut sys, None, events);
+            assert_eq!(r.packets, 200, "{}", table_backend.name());
+            assert_eq!(r.arrivals, r.expiries, "{}", table_backend.name());
+            assert_eq!(r.rejected_installs, 0, "{}", table_backend.name());
+            assert!(r.throughput_per_kcy > 0.0, "{}", table_backend.name());
         }
     }
 

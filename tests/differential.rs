@@ -250,3 +250,52 @@ fn mutation_is_caught_and_shrunk() {
         "trace must print its seed: {printed}"
     );
 }
+
+/// Churn differential: the streaming traffic engine's arrival/expiry
+/// stream (a large live set installed up front, then paired
+/// insert/remove churn under skewed lookups) must agree with the
+/// oracle on every exact-match backend, with each backend's invariant
+/// auditor run at the epoch cadence inside the driver.
+#[test]
+fn churn_stream_agrees_with_oracle_on_every_backend() {
+    use halo_nfv::check::run_churn_differential;
+    use halo_nfv::datapath::TableBackend;
+    let cases = if cfg!(feature = "slow-tests") { 12 } else { 3 };
+    for backend in TableBackend::all() {
+        run_churn_differential(
+            &format!("differential.churn.{}", backend.name()),
+            cases,
+            256,
+            700,
+            1 << 11,
+            backend,
+        )
+        .unwrap_or_else(|t| panic!("{}: {t}", backend.name()));
+    }
+}
+
+/// The scale experiment's small slice merges identically at any
+/// worker count — the property that lets `GOLDEN.sha256` pin the
+/// `figures scale --quick` output.
+#[test]
+fn scale_small_slice_is_jobs_invariant() {
+    use halo_bench::experiments::scale;
+    use halo_nfv::sim::SweepRunner;
+
+    let a = scale::run_small_slice(&SweepRunner::new("scale-det-1", 1).quiet());
+    let b = scale::run_small_slice(&SweepRunner::new("scale-det-4", 4).quiet());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.flows, y.flows);
+        assert_eq!(x.packets, y.packets);
+        assert_eq!(x.misses, y.misses);
+        assert_eq!((x.arrivals, x.expiries), (y.arrivals, y.expiries));
+        assert_eq!(x.p99_classify, y.p99_classify);
+        assert_eq!(
+            x.hybrid_residency.to_bits(),
+            y.hybrid_residency.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+    }
+    assert_eq!(scale::table(&a).to_string(), scale::table(&b).to_string());
+}

@@ -252,3 +252,62 @@ fn experiments_are_deterministic() {
     };
     assert_eq!(run_once(), run_once());
 }
+
+/// Regression for the hybrid-saturation bug: a 16-bit flow register
+/// caps its linear-counting estimate at 16·ln 16 ≈ 44.4, *below* the
+/// 64-flow threshold, so before the saturation check a DDoS-like flood
+/// of never-repeating flows kept the controller pinned on the (losing)
+/// software path. A sustained flood from the streaming engine must
+/// drive the controller to HALO mode after the first window and keep
+/// it there — software lookups bounded by that first window.
+#[test]
+fn ddos_flood_pins_the_hybrid_controller_on_halo() {
+    use halo_nfv::accel::{HybridClassifier, HybridConfig, Mode};
+    use halo_nfv::datapath::TrafficEvent;
+    use halo_nfv::nf::{StreamConfig, StreamingTrafficGen};
+
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut engine = HaloEngine::new(&sys, AcceleratorConfig::default());
+    let mut table = CuckooTable::create(sys.data_mut(), 1 << 9, 13);
+    let installed = 1_000u64;
+    for id in 0..installed {
+        table
+            .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
+            .unwrap();
+    }
+    let cfg = HybridConfig {
+        flow_threshold: 64.0,
+        window: 256,
+        register_bits: 16, // saturates far below the threshold
+    };
+    let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), cfg);
+    assert_eq!(hybrid.mode(), Mode::Software, "starts conservative");
+
+    let mut gen = StreamingTrafficGen::new(StreamConfig::ddos_flood(installed as usize), 0xD0);
+    let mut t = Cycle(0);
+    let mut lookups = 0u64;
+    while lookups < 2_048 {
+        if let TrafficEvent::Packet(f) = gen.next_event() {
+            let key = FlowKey::synthetic(f, 13);
+            let (v, done) = hybrid.lookup(&mut sys, &mut engine, &table, &key, t);
+            assert_eq!(v, None, "flood flows are never installed");
+            t = done;
+            lookups += 1;
+            if lookups > cfg.window {
+                assert_eq!(
+                    hybrid.mode(),
+                    Mode::Halo,
+                    "flood must pin HALO after the first window (lookup {lookups})"
+                );
+            }
+        }
+    }
+    assert!(gen.floods() >= 2_048, "every packet was a flood flow");
+    let (sw, hw) = hybrid.split();
+    assert!(
+        sw <= cfg.window,
+        "software lookups must be bounded by the first window: {sw}"
+    );
+    assert_eq!(sw + hw, 2_048);
+    assert_eq!(hybrid.switches(), 1, "one switch, never back");
+}

@@ -365,3 +365,133 @@ fn flow_register_error_bounded() {
         }
     }
 }
+
+/// Streaming Zipf rank-frequency: averaged per rank, every hotter
+/// octave of ranks draws samples at least as often as the next colder
+/// one, for exponents on both sides of the closed-form/binary-search
+/// split inside [`StreamZipf`](halo_nfv::sim::StreamZipf).
+#[test]
+fn stream_zipf_rank_frequency_is_monotone() {
+    use halo_nfv::sim::StreamZipf;
+    for mut rng in case_rngs("properties.zipf_monotone") {
+        let n = 1usize << (8 + rng.below(5)); // 256..4096 ranks
+        let theta = 0.6 + rng.next_f64() * 0.8; // crosses theta = 1
+        let z = StreamZipf::new(n, theta);
+        let octaves = n.ilog2() as usize + 1;
+        let mut counts = vec![0u64; octaves];
+        const SAMPLES: u64 = 30_000;
+        for _ in 0..SAMPLES {
+            let r = z.sample(&mut rng);
+            assert!(r < n, "rank {r} out of [0, {n})");
+            counts[(r + 1).ilog2() as usize] += 1;
+        }
+        let per_rank: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| {
+                let lo = (1usize << b) - 1;
+                let width = ((1usize << b).min(n - lo)).max(1);
+                c as f64 / width as f64
+            })
+            .collect();
+        for b in 0..octaves - 1 {
+            // Only compare octaves with enough mass to be statistically
+            // stable; the expected ratio between neighbours is 2^theta.
+            if counts[b] >= 64 && counts[b + 1] >= 64 {
+                assert!(
+                    per_rank[b] > per_rank[b + 1],
+                    "theta {theta:.2}, n {n}: octave {b} per-rank {} !> {}",
+                    per_rank[b],
+                    per_rank[b + 1]
+                );
+            }
+        }
+    }
+}
+
+/// Alpha sensitivity: raising the Zipf exponent strictly concentrates
+/// mass on the top ranks (same RNG seed, same rank universe).
+#[test]
+fn stream_zipf_alpha_controls_skew() {
+    use halo_nfv::sim::StreamZipf;
+    for mut rng in case_rngs("properties.zipf_alpha") {
+        let n = 4096;
+        let seed = rng.next_u64();
+        let top16 = |theta: f64| -> u64 {
+            let z = StreamZipf::new(n, theta);
+            let mut r = SplitMix64::new(seed);
+            (0..20_000).filter(|_| z.sample(&mut r) < 16).count() as u64
+        };
+        let (flat, mid, steep) = (top16(0.2), top16(0.8), top16(1.3));
+        assert!(
+            flat < mid && mid < steep,
+            "top-16 mass must grow with theta: {flat} / {mid} / {steep}"
+        );
+    }
+}
+
+/// Churn conservation: the streaming engine replaces expired flows in
+/// place, so the live set never drifts from the configured flow count,
+/// arrivals and expiries stay paired (at most one expiry in flight),
+/// and every emitted packet belongs to the live set.
+#[test]
+fn streaming_churn_conserves_the_live_set() {
+    use halo_nfv::datapath::TrafficEvent;
+    use halo_nfv::nf::{StreamConfig, StreamingTrafficGen};
+    for mut rng in case_rngs("properties.churn_conserve") {
+        let flows = 64 + rng.below(700) as usize;
+        let mut cfg = StreamConfig::churn(flows);
+        cfg.churn_per_packet = rng.next_f64() * 0.3;
+        let mut gen = StreamingTrafficGen::new(cfg, rng.next_u64());
+        for _ in 0..1_500 {
+            let ev = gen.next_event();
+            if let TrafficEvent::Packet(f) = ev {
+                assert!(gen.live_flows().contains(&f), "packet from dead flow {f}");
+            }
+            assert_eq!(gen.live_count(), flows, "live set drifted");
+            let in_flight = gen.arrivals() - gen.expiries();
+            assert!(in_flight <= 1, "unpaired churn: {in_flight} in flight");
+        }
+    }
+}
+
+/// Streaming sweeps are byte-identical at any `--jobs` level: a sweep
+/// whose points each render a generator sub-stream merges to the same
+/// text under one worker and many.
+#[test]
+fn streaming_sweeps_are_jobs_invariant() {
+    use halo_nfv::nf::{StreamConfig, StreamingTrafficGen};
+    use halo_nfv::sim::{SweepPoint, SweepRunner};
+
+    #[derive(Debug, Clone, Copy)]
+    struct StreamDigestPoint {
+        flows: usize,
+        seed: u64,
+    }
+    impl SweepPoint for StreamDigestPoint {
+        type Row = String;
+        fn run(&self) -> String {
+            let mut gen = StreamingTrafficGen::new(StreamConfig::churn(self.flows), self.seed);
+            (0..200).fold(String::new(), |mut s, _| {
+                use std::fmt::Write;
+                write!(s, "{:?};", gen.next_event()).unwrap();
+                s
+            })
+        }
+        fn label(&self) -> String {
+            format!("stream/{}", self.flows)
+        }
+    }
+
+    let points = || -> Vec<StreamDigestPoint> {
+        (0..6)
+            .map(|i| StreamDigestPoint {
+                flows: 100 + 37 * i as usize,
+                seed: point_seed("properties.stream_jobs", i),
+            })
+            .collect()
+    };
+    let a = SweepRunner::new("stream-jobs-1", 1).quiet().run(points());
+    let b = SweepRunner::new("stream-jobs-4", 4).quiet().run(points());
+    assert_eq!(a, b, "merged stream digests diverged across jobs levels");
+}
