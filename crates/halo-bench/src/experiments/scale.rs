@@ -83,6 +83,13 @@ pub struct ScaleRow {
     pub hybrid_residency: f64,
     /// Hybrid-controller mode at the end of its run.
     pub hybrid_mode: &'static str,
+    /// Entries actually installed in the hybrid run's exact-match
+    /// table: `min(flows, 2^14)` — the cap that keeps the 10^6-flow
+    /// points cheap.
+    pub installed_exact: u64,
+    /// Whether `installed_exact` was truncated below `flows`. Recorded
+    /// in the JSON so capped configurations are visible, not implied.
+    pub exact_capped: bool,
 }
 
 /// A (workload, flows) cell: a traced multi-core streaming run for the
@@ -122,7 +129,7 @@ impl ScalePoint {
         )
     }
 
-    fn hybrid_run(&self) -> (f64, &'static str) {
+    fn hybrid_run(&self) -> (f64, &'static str, u64, bool) {
         let mut gen =
             StreamingTrafficGen::new(self.workload.config(self.flows), self.seed ^ 0x5EED);
         let mut sys = MemorySystem::new(MachineConfig::default());
@@ -130,18 +137,20 @@ impl ScalePoint {
         // The exact-match table holds the hottest ranks; capping it
         // keeps the 10^6-flow points cheap without changing what the
         // flow register sees (it observes raw key hashes).
-        let installed = self.flows.min(1 << 14) as u64;
-        let buckets = (installed * 4 / 3 / ENTRIES_PER_BUCKET as u64)
+        let target = self.flows.min(1 << 14) as u64;
+        let buckets = (target * 4 / 3 / ENTRIES_PER_BUCKET as u64)
             .next_power_of_two()
             .max(16);
         let mut table = CuckooTable::create(sys.data_mut(), buckets, 13);
-        for id in 0..installed {
+        let mut installed = 0u64;
+        for id in 0..target {
             if table
                 .insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id)
                 .is_err()
             {
                 break;
             }
+            installed += 1;
         }
         let mut hybrid = HybridClassifier::new(&mut sys, CoreId(0), HybridConfig::default());
         let lookups = self.steps.min(2_048);
@@ -161,7 +170,7 @@ impl ScalePoint {
             Mode::Software => "software",
             Mode::Halo => "halo",
         };
-        (residency, mode)
+        (residency, mode, installed, installed < self.flows as u64)
     }
 }
 
@@ -170,7 +179,7 @@ impl SweepPoint for ScalePoint {
 
     fn run(&self) -> ScaleRow {
         let (packets, misses, arrivals, expiries, p50, p99, throughput) = self.datapath_run();
-        let (hybrid_residency, hybrid_mode) = self.hybrid_run();
+        let (hybrid_residency, hybrid_mode, installed_exact, exact_capped) = self.hybrid_run();
         ScaleRow {
             workload: self.workload,
             flows: self.flows,
@@ -183,6 +192,8 @@ impl SweepPoint for ScalePoint {
             throughput,
             hybrid_residency,
             hybrid_mode,
+            installed_exact,
+            exact_capped,
         }
     }
 
@@ -264,26 +275,25 @@ pub fn table(rows: &[ScaleRow]) -> TextTable {
 }
 
 /// Serializes the sweep as a small JSON document (the CI bench-smoke
-/// artifact `SCALE_flows.json`). Mirrors `BENCH_sweep.json` in
-/// recording both what the host offers and what the runner overlapped.
+/// artifact `SCALE_flows.json`). The parallelism header is the shared
+/// [`halo_sim::ParallelismReport`] record every bench JSON carries;
+/// `installed_exact`/`exact_capped` make the hybrid run's 2^14
+/// exact-table cap visible instead of implied.
 #[must_use]
-pub fn to_json(rows: &[ScaleRow], quick: bool) -> String {
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let observed = halo_sim::observed_parallelism();
+pub fn to_json(rows: &[ScaleRow], quick: bool, jobs: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"experiment\": \"scale\",\n  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
     ));
-    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
-    s.push_str(&format!("  \"observed_parallelism\": {observed},\n"));
+    s.push_str(&halo_sim::ParallelismReport::capture(jobs).json_fields());
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"flows\": {}, \"packets\": {}, \"misses\": {}, \
              \"arrivals\": {}, \"expiries\": {}, \"p50_classify\": {}, \"p99_classify\": {}, \
              \"throughput_per_kcy\": {:.6}, \"hybrid_residency\": {:.6}, \
-             \"hybrid_mode\": \"{}\"}}{}\n",
+             \"hybrid_mode\": \"{}\", \"installed_exact\": {}, \"exact_capped\": {}}}{}\n",
             r.workload.name(),
             r.flows,
             r.packets,
@@ -295,6 +305,8 @@ pub fn to_json(rows: &[ScaleRow], quick: bool) -> String {
             r.throughput,
             r.hybrid_residency,
             r.hybrid_mode,
+            r.installed_exact,
+            r.exact_capped,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -347,29 +359,54 @@ mod tests {
     fn small_slice_is_jobs_invariant() {
         let a = run_small_slice(&SweepRunner::new("scale-j1", 1).quiet());
         let b = run_small_slice(&SweepRunner::new("scale-j4", 4).quiet());
-        // The parallelism header fields report a process-global
-        // high-water mark, so they are excluded from the comparison.
-        let render = |rows: &[ScaleRow]| {
-            let json: String = to_json(rows, true)
+        // The parallelism header (jobs, host, observed peak) varies
+        // with worker count and process history by design, so it is
+        // excluded from the comparison — the shared header keeps every
+        // such field on a `parallelism`-bearing line precisely so this
+        // one filter strips it all.
+        let render = |rows: &[ScaleRow], jobs: usize| {
+            let json: String = to_json(rows, true, jobs)
                 .lines()
                 .filter(|l| !l.contains("parallelism"))
                 .collect::<Vec<_>>()
                 .join("\n");
             format!("{}\n{json}", table(rows))
         };
-        assert_eq!(render(&a), render(&b));
+        assert_eq!(render(&a, 1), render(&b, 4));
     }
 
     /// JSON names every workload and carries the parallelism fields.
     #[test]
     fn json_covers_sweep() {
         let rows = run_small_slice(&SweepRunner::new("scale-json", 1).quiet());
-        let json = to_json(&rows, true);
+        let json = to_json(&rows, true, 1);
         for w in Workload::all() {
             assert!(json.contains(w.name()), "missing {}", w.name());
         }
+        assert!(json.contains("\"jobs\": 1"));
         assert!(json.contains("\"host_parallelism\""));
         assert!(json.contains("\"observed_parallelism\""));
         assert_eq!(json.matches("\"workload\"").count(), rows.len());
+        assert_eq!(json.matches("\"installed_exact\"").count(), rows.len());
+    }
+
+    /// The hybrid run's exact-table cap is reported, not implied: the
+    /// small slice sits under 2^14 flows, so nothing is capped and the
+    /// installed count matches the configured flow count.
+    #[test]
+    fn small_slice_reports_uncapped_exact_table() {
+        let rows = run_small_slice(&SweepRunner::new("scale-cap", 1).quiet());
+        for r in &rows {
+            assert!(!r.exact_capped, "{} @ {} flows", r.workload.name(), r.flows);
+            assert_eq!(r.installed_exact, r.flows as u64);
+        }
+        let capped = ScaleRow {
+            flows: 1_000_000,
+            installed_exact: 1 << 14,
+            exact_capped: true,
+            ..rows[0]
+        };
+        let json = to_json(&[capped], false, 2);
+        assert!(json.contains("\"installed_exact\": 16384, \"exact_capped\": true"));
     }
 }

@@ -13,16 +13,19 @@
 use std::time::Instant;
 
 use halo_classify::PacketHeader;
+use halo_cpu::{build_sw_lookup, build_sw_lookup_into, Program, Scratch};
 use halo_mem::{AccessKind, Addr, CoreId, MachineConfig, MemorySystem, CACHE_LINE};
 use halo_sim::{Cycle, LatencyHistogram, SplitMix64};
+use halo_tables::{CuckooTable, FlowKey, LookupTrace};
 use halo_vswitch::{LookupBackend, SwitchConfig, VirtualSwitch};
 
 /// One measured hot-path profile.
 #[derive(Debug, Clone)]
 pub struct HotpathRow {
-    /// Profile name (`l1`, `llc`, `dram`, `vswitch`).
+    /// Profile name (`l1`, `llc`, `dram`, `swprog_alloc`,
+    /// `swprog_reuse`, `vswitch`).
     pub profile: &'static str,
-    /// Unit of the rate (`accesses` or `packets`).
+    /// Unit of the rate (`accesses`, `programs`, or `packets`).
     pub unit: &'static str,
     /// Operations executed in the timed section.
     pub ops: u64,
@@ -167,6 +170,54 @@ fn vswitch_profile(packets: u64) -> HotpathRow {
     }
 }
 
+/// Measures software-lookup *program construction* throughput over a
+/// pool of real cuckoo probe traces. `reuse = false` is the "before"
+/// row: one freshly allocated [`Program`] per packet, which is what the
+/// vswitch megaflow phase — the dominant phase of the PR-4 six-phase
+/// breakdown — did before the pooled buffer landed. `reuse = true` is
+/// the "after" row: [`build_sw_lookup_into`] refilling one long-lived
+/// buffer, the path `LookupExecutor::run_sw` takes now. The pair pins
+/// the micro-pass's win in `BENCH_hotpath.json`.
+fn swprog_profile(profile: &'static str, reuse: bool, ops: u64) -> HotpathRow {
+    let mut sys = MemorySystem::new(MachineConfig::small());
+    let mut table = CuckooTable::create(sys.data_mut(), 64, 13);
+    for id in 0..128u64 {
+        let _ = table.insert(sys.data_mut(), &FlowKey::synthetic(id, 13), id);
+    }
+    let mut scratch = Scratch::new(&mut sys);
+    // A mix of hits and misses (ids past 128 were never inserted), so
+    // the trace pool spans the probe shapes the datapath really builds.
+    let traces: Vec<LookupTrace> = (0..192u64)
+        .map(|id| table.lookup_traced(sys.data(), &FlowKey::synthetic(id, 13), true))
+        .collect();
+    let mut buf = Program::with_label("sw_lookup");
+    let mut uops = 0u64;
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let trace = &traces[(i % traces.len() as u64) as usize];
+        if reuse {
+            build_sw_lookup_into(trace, &mut scratch, None, &mut buf);
+            uops += buf.len() as u64;
+        } else {
+            let p = build_sw_lookup(trace, &mut scratch, None);
+            uops += p.len() as u64;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(uops > 0, "program construction produced no uops");
+    HotpathRow {
+        profile,
+        unit: "programs",
+        ops,
+        wall_s,
+        // Host-side construction work: there is no simulated latency to
+        // sample, so the percentile columns are zero by definition.
+        p50_cyc: 0,
+        p95_cyc: 0,
+        p99_cyc: 0,
+    }
+}
+
 /// Runs the full benchmark. `quick` shrinks op counts ~10x (the CI
 /// smoke setting); profiles and shapes are identical in both modes.
 #[must_use]
@@ -182,6 +233,10 @@ pub fn run(quick: bool) -> Vec<HotpathRow> {
         mem_profile("llc", 65_536, 400_000 * scale, 0x11C),
         // 64 MB: 2x the LLC; the probe path plus eviction/back-inval.
         mem_profile("dram", 1_048_576, 150_000 * scale, 0xD7A8),
+        // Before/after pair for the vswitch micro-pass: per-packet
+        // program allocation vs the pooled builder buffer.
+        swprog_profile("swprog_alloc", false, 200_000 * scale),
+        swprog_profile("swprog_reuse", true, 200_000 * scale),
         vswitch_profile(2_000 * scale),
     ]
 }
@@ -223,10 +278,17 @@ mod tests {
     fn rows_cover_all_profiles() {
         // Tiny op counts: this is a smoke test of the harness shape,
         // not a measurement.
-        let rows = vec![mem_profile("l1", 64, 2_048, 1), vswitch_profile(16)];
+        let rows = vec![
+            mem_profile("l1", 64, 2_048, 1),
+            swprog_profile("swprog_alloc", false, 512),
+            swprog_profile("swprog_reuse", true, 512),
+            vswitch_profile(16),
+        ];
         assert!(rows.iter().all(|r| r.ops > 0));
         let j = to_json(&rows, true);
         assert!(j.contains("\"profile\": \"l1\""));
+        assert!(j.contains("\"profile\": \"swprog_alloc\""));
+        assert!(j.contains("\"profile\": \"swprog_reuse\""));
         assert!(j.contains("\"profile\": \"vswitch\""));
         assert!(j.contains("\"p50_cyc\""));
         assert!(j.contains("\"p95_cyc\""));

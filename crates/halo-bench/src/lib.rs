@@ -26,5 +26,6 @@
 pub mod experiments;
 pub mod hotpath_bench;
 pub mod microbench;
+pub mod parallel_bench;
 pub mod sweep_bench;
 pub mod trace_bench;

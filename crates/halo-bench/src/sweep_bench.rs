@@ -90,13 +90,9 @@ pub fn run(jobs: usize) -> Vec<SweepBenchRow> {
 /// number is the honest bound on any reported speedup.
 #[must_use]
 pub fn to_json(rows: &[SweepBenchRow], jobs: usize) -> String {
-    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let observed = halo_sim::observed_parallelism();
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"sweep-runner sequential vs parallel\",\n");
-    s.push_str(&format!("  \"jobs\": {jobs},\n"));
-    s.push_str(&format!("  \"host_parallelism\": {host_cores},\n"));
-    s.push_str(&format!("  \"observed_parallelism\": {observed},\n"));
+    s.push_str(&halo_sim::ParallelismReport::capture(jobs).json_fields());
     s.push_str("  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -145,6 +141,9 @@ mod tests {
         let j = to_json(&rows, 4);
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"byte_identical\": true"));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"host_parallelism\""));
+        assert!(j.contains("\"observed_parallelism\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

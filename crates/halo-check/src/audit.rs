@@ -600,7 +600,7 @@ mod tests {
         t.insert(&mut mem, &FlowKey::synthetic(5, 13), 5).unwrap();
         'corrupt: for b in 0..t.meta().buckets {
             for e in 0..ENTRIES_PER_BUCKET {
-                let (sig, idx) = t.meta().read_entry(&mut mem, b, e);
+                let (sig, idx) = t.meta().read_entry(&mem, b, e);
                 if sig != 0 {
                     t.meta().write_entry(&mut mem, b, e, sig ^ 0x5555, idx);
                     break 'corrupt;

@@ -105,7 +105,7 @@ pub fn churn_driver(backend: TableBackend, key_space: u16, ops: &[Op]) -> Option
                 }
             }
             Op::Lookup(k) | Op::Move(k) => {
-                let got = t.lookup(&mut mem, &key(k));
+                let got = t.lookup(&mem, &key(k));
                 let want = model.get(&k).copied();
                 if got != want {
                     return Some(format!(
@@ -225,7 +225,7 @@ mod tests {
                         model.remove(&k);
                     }
                     Op::Lookup(k) | Op::Move(k) => {
-                        if t.lookup(&mut mem, &key(k)) != model.get(&k).copied() {
+                        if t.lookup(&mem, &key(k)) != model.get(&k).copied() {
                             return Some(format!("op {i}: lookup diverged"));
                         }
                     }

@@ -119,7 +119,7 @@ pub fn cuckoo_driver(ops: &[Op]) -> Option<String> {
                 if matches!(op, Op::Move(_)) {
                     t.cuckoo_move(&mut mem, &key(k));
                 }
-                let got = t.lookup(&mut mem, &key(k));
+                let got = t.lookup(&mem, &key(k));
                 let want = model.get(&k).copied();
                 if got != want {
                     return Some(diverge(i, op, "lookup", got, want));
@@ -174,7 +174,7 @@ pub fn cuckoo_pp_driver(ops: &[Op]) -> Option<String> {
                 // The satellite regression, continuously: once a key is
                 // gone its negative lookup must cost one bucket probe.
                 if want.is_some() {
-                    let tr = t.lookup_traced(&mut mem, &key(k), false);
+                    let tr = t.lookup_traced(&mem, &key(k), false);
                     let probes = tr
                         .steps
                         .iter()
@@ -192,7 +192,7 @@ pub fn cuckoo_pp_driver(ops: &[Op]) -> Option<String> {
                 if matches!(op, Op::Move(_)) {
                     t.cuckoo_move(&mut mem, &key(k));
                 }
-                let got = t.lookup(&mut mem, &key(k));
+                let got = t.lookup(&mem, &key(k));
                 let want = model.get(&k).copied();
                 if got != want {
                     return Some(diverge(i, op, "lookup", got, want));
@@ -256,7 +256,7 @@ pub fn emoma_driver(ops: &[Op]) -> Option<String> {
                 if matches!(op, Op::Move(_)) {
                     t.displace(&mut mem, &key(k));
                 }
-                let tr = t.lookup_traced(&mut mem, &key(k), false);
+                let tr = t.lookup_traced(&mem, &key(k), false);
                 let want = model.get(&k).copied();
                 if tr.result != want {
                     return Some(diverge(i, op, "lookup", tr.result, want));
@@ -519,8 +519,8 @@ pub fn buggy_cuckoo_driver(ops: &[Op]) -> Option<String> {
                 let sig = signature(hash_key(&fk, SEED_PRIMARY));
                 'found: for b in [b1, b2] {
                     for e in 0..ENTRIES_PER_BUCKET {
-                        let (s, idx) = t.meta().read_entry(&mut mem, b, e);
-                        if s == sig && t.meta().read_kv_key(&mut mem, idx) == fk {
+                        let (s, idx) = t.meta().read_entry(&mem, b, e);
+                        if s == sig && t.meta().read_kv_key(&mem, idx) == fk {
                             t.meta().clear_entry(&mut mem, b, e);
                             break 'found;
                         }
@@ -532,7 +532,7 @@ pub fn buggy_cuckoo_driver(ops: &[Op]) -> Option<String> {
                 if matches!(op, Op::Move(_)) {
                     t.cuckoo_move(&mut mem, &key(k));
                 }
-                let got = t.lookup(&mut mem, &key(k));
+                let got = t.lookup(&mem, &key(k));
                 let want = model.get(&k).copied();
                 if got != want {
                     return Some(diverge(i, op, "lookup", got, want));

@@ -8,7 +8,7 @@
 //! small — the effect visible in the paper's Fig. 3 breakdown.
 
 use crate::packet::MINIFLOW_LEN;
-use halo_mem::{Addr, SimMemory, CACHE_LINE};
+use halo_mem::{Addr, MemCtx, SimMemory, CACHE_LINE};
 use halo_tables::{hash_key, FlowKey, LookupTrace, TraceStep, SEED_PRIMARY};
 
 /// Default EMC capacity in entries (OVS's `EM_FLOW_HASH_ENTRIES` = 8192).
@@ -97,7 +97,7 @@ impl Emc {
         [(h % m) as usize, ((h >> 32) % m) as usize]
     }
 
-    fn slot_matches(&self, mem: &mut SimMemory, idx: usize, key: &FlowKey) -> bool {
+    fn slot_matches<M: MemCtx>(&self, mem: &M, idx: usize, key: &FlowKey) -> bool {
         let a = self.slot_addr(idx);
         if mem.read_u8(a + Self::VALID_OFF) == 0 {
             return false;
@@ -109,14 +109,14 @@ impl Emc {
 
     /// Functional lookup.
     #[must_use]
-    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    pub fn lookup<M: MemCtx>(&self, mem: &M, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key).result
     }
 
     /// Lookup with the recorded access trace: hash, then probe up to two
     /// slot lines with key compares.
     #[must_use]
-    pub fn lookup_traced(&self, mem: &mut SimMemory, key: &FlowKey) -> LookupTrace {
+    pub fn lookup_traced<M: MemCtx>(&self, mem: &M, key: &FlowKey) -> LookupTrace {
         let mut steps = vec![TraceStep::Hash];
         let mut result = None;
         for idx in self.candidate_slots(key) {
@@ -133,7 +133,7 @@ impl Emc {
     /// Inserts `key -> value`, overwriting one of the two candidate slots
     /// (an empty one if available, else the first — OVS's probabilistic
     /// replacement simplified to deterministic).
-    pub fn insert(&mut self, mem: &mut SimMemory, key: &FlowKey, value: u64) {
+    pub fn insert<M: MemCtx>(&mut self, mem: &mut M, key: &FlowKey, value: u64) {
         assert_eq!(key.len(), MINIFLOW_LEN, "EMC keys are full miniflows");
         self.insertions += 1;
         let slots = self.candidate_slots(key);
@@ -167,7 +167,7 @@ impl Emc {
     /// analogue of [`clear`](Emc::clear) used when a single MegaFlow
     /// rule expires (flow churn) and its cached exact match must not
     /// outlive it. Returns whether a slot was invalidated.
-    pub fn invalidate(&mut self, mem: &mut SimMemory, key: &FlowKey) -> bool {
+    pub fn invalidate<M: MemCtx>(&mut self, mem: &mut M, key: &FlowKey) -> bool {
         for idx in self.candidate_slots(key) {
             if self.slot_matches(mem, idx, key) {
                 mem.write_u8(self.slot_addr(idx) + Self::VALID_OFF, 0);
@@ -178,7 +178,7 @@ impl Emc {
     }
 
     /// Invalidates every slot (e.g. on rule-table changes).
-    pub fn clear(&mut self, mem: &mut SimMemory) {
+    pub fn clear<M: MemCtx>(&mut self, mem: &mut M) {
         for i in 0..self.entries {
             mem.write_u8(self.slot_addr(i) + Self::VALID_OFF, 0);
         }
@@ -205,9 +205,9 @@ mod tests {
         let mut emc = Emc::new(&mut mem, 256);
         emc.insert(&mut mem, &key(1), 11);
         emc.insert(&mut mem, &key(2), 22);
-        assert_eq!(emc.lookup(&mut mem, &key(1)), Some(11));
-        assert_eq!(emc.lookup(&mut mem, &key(2)), Some(22));
-        assert_eq!(emc.lookup(&mut mem, &key(3)), None);
+        assert_eq!(emc.lookup(&mem, &key(1)), Some(11));
+        assert_eq!(emc.lookup(&mem, &key(2)), Some(22));
+        assert_eq!(emc.lookup(&mem, &key(3)), None);
     }
 
     #[test]
@@ -216,7 +216,7 @@ mod tests {
         let mut emc = Emc::new(&mut mem, 256);
         emc.insert(&mut mem, &key(1), 11);
         emc.insert(&mut mem, &key(1), 99);
-        assert_eq!(emc.lookup(&mut mem, &key(1)), Some(99));
+        assert_eq!(emc.lookup(&mem, &key(1)), Some(99));
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         // At most `entries` keys can still hit.
         let mut hits = 0;
         for id in 0..200 {
-            if emc.lookup(&mut mem, &key(id)) == Some(id) {
+            if emc.lookup(&mem, &key(id)) == Some(id) {
                 hits += 1;
             }
         }
@@ -244,14 +244,14 @@ mod tests {
         let mut mem = SimMemory::new();
         let mut emc = Emc::new(&mut mem, 256);
         emc.insert(&mut mem, &key(1), 11);
-        let tr = emc.lookup_traced(&mut mem, &key(1));
+        let tr = emc.lookup_traced(&mem, &key(1));
         let loads = tr
             .steps
             .iter()
             .filter(|s| matches!(s, TraceStep::LoadKv(_)))
             .count();
         assert!((1..=EMC_WAYS).contains(&loads));
-        let miss = emc.lookup_traced(&mut mem, &key(77));
+        let miss = emc.lookup_traced(&mem, &key(77));
         let miss_loads = miss
             .steps
             .iter()
@@ -267,8 +267,8 @@ mod tests {
         emc.insert(&mut mem, &key(1), 11);
         emc.insert(&mut mem, &key(2), 22);
         assert!(emc.invalidate(&mut mem, &key(1)));
-        assert_eq!(emc.lookup(&mut mem, &key(1)), None);
-        assert_eq!(emc.lookup(&mut mem, &key(2)), Some(22), "bystander kept");
+        assert_eq!(emc.lookup(&mem, &key(1)), None);
+        assert_eq!(emc.lookup(&mem, &key(2)), Some(22), "bystander kept");
         assert!(!emc.invalidate(&mut mem, &key(1)), "already gone");
         assert!(!emc.invalidate(&mut mem, &key(99)), "never cached");
     }
@@ -282,7 +282,7 @@ mod tests {
         }
         emc.clear(&mut mem);
         for id in 0..32 {
-            assert_eq!(emc.lookup(&mut mem, &key(id)), None);
+            assert_eq!(emc.lookup(&mem, &key(id)), None);
         }
     }
 

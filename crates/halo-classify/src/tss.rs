@@ -213,7 +213,7 @@ impl<T: FlowTable> TupleSpace<T> {
 
     /// Functional classification.
     #[must_use]
-    pub fn classify(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<RuleMatch> {
+    pub fn classify(&self, mem: &SimMemory, key: &FlowKey) -> Option<RuleMatch> {
         self.classify_traced(mem, key, false).0
     }
 
@@ -224,7 +224,7 @@ impl<T: FlowTable> TupleSpace<T> {
     #[must_use]
     pub fn classify_traced(
         &self,
-        mem: &mut SimMemory,
+        mem: &SimMemory,
         key: &FlowKey,
         software_locking: bool,
     ) -> (Option<RuleMatch>, Vec<(usize, LookupTrace)>) {
@@ -258,7 +258,7 @@ impl<T: FlowTable> TupleSpace<T> {
     /// Reference classification by linear scan over every tuple (no hash
     /// tables): the oracle for property tests.
     #[must_use]
-    pub fn classify_linear(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<RuleMatch> {
+    pub fn classify_linear(&self, mem: &SimMemory, key: &FlowKey) -> Option<RuleMatch> {
         let mut best: Option<RuleMatch> = None;
         for (i, tuple) in self.tuples.iter().enumerate() {
             let masked = tuple.mask.apply(key);
@@ -308,7 +308,7 @@ mod tests {
         // Install the same flow in tuples 1 and 2.
         tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
         tss.insert_rule(&mut mem, 2, &k, 9, 200).unwrap();
-        let m = tss.classify(&mut mem, &k).unwrap();
+        let m = tss.classify(&mem, &k).unwrap();
         assert_eq!(m.tuple, 1, "MegaFlow stops at the first match");
         assert_eq!(m.action, 100);
     }
@@ -325,7 +325,7 @@ mod tests {
         let k = key(7);
         tss.insert_rule(&mut mem, 1, &k, 1, 100).unwrap();
         tss.insert_rule(&mut mem, 2, &k, 9, 200).unwrap();
-        let m = tss.classify(&mut mem, &k).unwrap();
+        let m = tss.classify(&mem, &k).unwrap();
         assert_eq!(m.tuple, 2, "OpenFlow picks the highest priority");
         assert_eq!(m.action, 200);
     }
@@ -342,7 +342,7 @@ mod tests {
         let mut other = base;
         other.src_port = base.src_port.wrapping_add(100);
         other.dst_port = base.dst_port.wrapping_add(100);
-        let m = tss.classify(&mut mem, &other.miniflow()).unwrap();
+        let m = tss.classify(&mem, &other.miniflow()).unwrap();
         assert_eq!(m.action, 42);
     }
 
@@ -350,7 +350,7 @@ mod tests {
     fn miss_probes_every_tuple() {
         let mut mem = SimMemory::new();
         let tss = TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
-        let (m, probes) = tss.classify_traced(&mut mem, &key(1), false);
+        let (m, probes) = tss.classify_traced(&mem, &key(1), false);
         assert!(m.is_none());
         assert_eq!(probes.len(), 5);
     }
@@ -361,7 +361,7 @@ mod tests {
         let mut tss = TupleSpace::new(&mut mem, distinct_masks(5), 256, SearchMode::FirstMatch);
         let k = key(7);
         tss.insert_rule(&mut mem, 0, &k, 0, 1).unwrap();
-        let (_, probes) = tss.classify_traced(&mut mem, &k, false);
+        let (_, probes) = tss.classify_traced(&mem, &k, false);
         assert_eq!(probes.len(), 1);
     }
 
@@ -382,8 +382,8 @@ mod tests {
         for id in 0..300u64 {
             let k = key(id);
             assert_eq!(
-                tss.classify(&mut mem, &k),
-                tss.classify_linear(&mut mem, &k),
+                tss.classify(&mem, &k),
+                tss.classify_linear(&mem, &k),
                 "divergence at id {id}"
             );
         }
@@ -398,13 +398,13 @@ mod tests {
         assert_eq!(tss.total_rules(), 1);
         assert_eq!(tss.remove_rule(&mut mem, 1, &k), Some((5, 100)));
         assert_eq!(tss.total_rules(), 0);
-        assert!(tss.classify(&mut mem, &k).is_none(), "expired rule hit");
+        assert!(tss.classify(&mem, &k).is_none(), "expired rule hit");
         assert_eq!(tss.remove_rule(&mut mem, 1, &k), None, "double expiry");
         // Removal is per-tuple: the same key in another tuple survives.
         tss.insert_rule(&mut mem, 0, &k, 1, 11).unwrap();
         tss.insert_rule(&mut mem, 2, &k, 2, 22).unwrap();
         assert_eq!(tss.remove_rule(&mut mem, 0, &k), Some((1, 11)));
-        assert_eq!(tss.classify(&mut mem, &k).unwrap().action, 22);
+        assert_eq!(tss.classify(&mem, &k).unwrap().action, 22);
     }
 
     /// The tuple space is generic over its table backend: the SFH
@@ -434,8 +434,8 @@ mod tests {
         }
         for id in 0..90u64 {
             assert_eq!(
-                cuckoo.classify(&mut mem, &key(id)),
-                sfh.classify(&mut mem, &key(id)),
+                cuckoo.classify(&mem, &key(id)),
+                sfh.classify(&mem, &key(id)),
                 "backends diverged at id {id}"
             );
         }

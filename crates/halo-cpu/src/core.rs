@@ -8,7 +8,7 @@
 //! dependent pointer chases — without simulating a full pipeline.
 
 use crate::uop::{Program, UopKind};
-use halo_mem::{AccessKind, CoreId, HitLevel, MemorySystem};
+use halo_mem::{AccessKind, CoreId, CoreMem, HitLevel};
 use halo_sim::{Cycle, Cycles, OutstandingWindow};
 
 /// Per-level access counters plus attributed stall cycles.
@@ -74,7 +74,8 @@ impl ExecReport {
 }
 
 /// An out-of-order core executing [`Program`]s against a
-/// [`MemorySystem`].
+/// [`halo_mem::MemorySystem`] (or any other [`CoreMem`] context, such as
+/// an epoch-window core).
 ///
 /// # Examples
 ///
@@ -105,6 +106,12 @@ pub struct CoreModel {
     /// its previous one finished issuing (programs on the same hardware
     /// thread serialize at retire).
     ready_at: Cycle,
+    /// Scratch reused across [`run`](Self::run) calls so the scheduler
+    /// allocates nothing per program (the vswitch runs three programs
+    /// per packet).
+    completion: Vec<Cycle>,
+    load_times: Vec<Cycle>,
+    store_times: Vec<Cycle>,
 }
 
 impl CoreModel {
@@ -119,6 +126,9 @@ impl CoreModel {
             sq: cfg.sq,
             mshr: OutstandingWindow::new(cfg.mshrs),
             ready_at: Cycle::ZERO,
+            completion: Vec::new(),
+            load_times: Vec::new(),
+            store_times: Vec::new(),
         }
     }
 
@@ -142,17 +152,22 @@ impl CoreModel {
 
     /// Executes `prog` starting no earlier than `at`, returning the
     /// timing report. The core's local clock advances to the finish time.
-    pub fn run(&mut self, prog: &Program, sys: &mut MemorySystem, at: Cycle) -> ExecReport {
+    ///
+    /// Generic over [`CoreMem`], so the same scheduler drives the classic
+    /// [`halo_mem::MemorySystem`] and a per-thread
+    /// [`halo_mem::EpochCore`] shard identically.
+    pub fn run<S: CoreMem>(&mut self, prog: &Program, sys: &mut S, at: Cycle) -> ExecReport {
         let base = at.max(self.ready_at);
         let n = prog.len();
-        let mut completion: Vec<Cycle> = Vec::with_capacity(n);
+        self.completion.clear();
+        self.completion.reserve(n);
         let mut mem_prof = MemProfile::default();
         let l1_lat = sys.config().l1_latency;
 
         // Sliding windows: uop i cannot issue before uop i-rob completed
         // (ROB full), nor before the (i_l - lq)'th load completed, etc.
-        let mut load_times: Vec<Cycle> = Vec::new();
-        let mut store_times: Vec<Cycle> = Vec::new();
+        self.load_times.clear();
+        self.store_times.clear();
         let mut last_finish = base;
         let mut first_issue: Option<Cycle> = None;
 
@@ -160,11 +175,11 @@ impl CoreModel {
             // Dataflow readiness.
             let mut ready = base;
             for &d in &uop.deps {
-                ready = ready.max(completion[d as usize]);
+                ready = ready.max(self.completion[d as usize]);
             }
             // ROB window.
             if i >= self.rob {
-                ready = ready.max(completion[i - self.rob]);
+                ready = ready.max(self.completion[i - self.rob]);
             }
             // Issue bandwidth: at most issue_width uops per cycle,
             // approximated by a fixed program-order pacing floor.
@@ -174,34 +189,34 @@ impl CoreModel {
             let done = match uop.kind {
                 UopKind::Compute { latency } => ready + Cycles(latency),
                 UopKind::Load { addr } => {
-                    if load_times.len() >= self.lq {
-                        let idx = load_times.len() - self.lq;
-                        ready = ready.max(load_times[idx]);
+                    if self.load_times.len() >= self.lq {
+                        let idx = self.load_times.len() - self.lq;
+                        ready = ready.max(self.load_times[idx]);
                     }
                     let issue = self.mshr.acquire(ready);
                     let out = sys.access(self.core, addr, AccessKind::Load, issue);
                     self.mshr.commit(out.complete);
                     mem_prof.note(out.level, out.complete - issue, l1_lat);
-                    load_times.push(out.complete);
+                    self.load_times.push(out.complete);
                     out.complete
                 }
                 UopKind::Store { addr } => {
-                    if store_times.len() >= self.sq {
-                        let idx = store_times.len() - self.sq;
-                        ready = ready.max(store_times[idx]);
+                    if self.store_times.len() >= self.sq {
+                        let idx = self.store_times.len() - self.sq;
+                        ready = ready.max(self.store_times[idx]);
                     }
                     let issue = self.mshr.acquire(ready);
                     let out = sys.access(self.core, addr, AccessKind::Store, issue);
                     self.mshr.commit(out.complete);
                     mem_prof.note(out.level, out.complete - issue, l1_lat);
-                    store_times.push(out.complete);
+                    self.store_times.push(out.complete);
                     out.complete
                 }
             };
             if first_issue.is_none() {
                 first_issue = Some(ready);
             }
-            completion.push(done);
+            self.completion.push(done);
             last_finish = last_finish.max(done);
         }
 
@@ -222,6 +237,7 @@ impl CoreModel {
 mod tests {
     use super::*;
     use halo_mem::MachineConfig;
+    use halo_mem::MemorySystem;
 
     fn setup() -> (MemorySystem, CoreModel) {
         let sys = MemorySystem::new(MachineConfig::small());

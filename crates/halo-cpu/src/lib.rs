@@ -39,7 +39,7 @@ mod uop;
 
 pub use crate::core::{CoreModel, ExecReport, MemProfile};
 pub use swlookup::{
-    build_sw_lookup, build_sw_lookup_bulk, Scratch, SW_ARITH_FRACTION, SW_LOAD_FRACTION,
-    SW_LOOKUP_INSTRUCTIONS, SW_STORE_FRACTION,
+    build_sw_lookup, build_sw_lookup_bulk, build_sw_lookup_into, Scratch, SW_ARITH_FRACTION,
+    SW_LOAD_FRACTION, SW_LOOKUP_INSTRUCTIONS, SW_STORE_FRACTION,
 };
 pub use uop::{Program, Uop, UopId, UopKind};

@@ -90,6 +90,22 @@ pub fn build_sw_lookup(
     key_addr: Option<Addr>,
 ) -> Program {
     let mut p = Program::with_label("sw_lookup");
+    build_sw_lookup_into(trace, scratch, key_addr, &mut p);
+    p
+}
+
+/// Builds the same program as [`build_sw_lookup`] into a caller-owned
+/// buffer, so per-packet hot paths can reuse one allocation across
+/// lookups. The buffer is cleared first; its label is set to
+/// `"sw_lookup"`.
+pub fn build_sw_lookup_into(
+    trace: &LookupTrace,
+    scratch: &mut Scratch,
+    key_addr: Option<Addr>,
+    p: &mut Program,
+) {
+    p.clear();
+    p.set_label("sw_lookup");
     let budget_loads = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_LOAD_FRACTION).round() as usize;
     let budget_stores = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_STORE_FRACTION).round() as usize;
     let budget_arith = (SW_LOOKUP_INSTRUCTIONS as f64 * SW_ARITH_FRACTION).round() as usize;
@@ -231,8 +247,6 @@ pub fn build_sw_lookup(
     // Result epilogue: a couple of dependent ops after the spine.
     let fin = p.compute(1, &last);
     p.store(scratch.next(), &[fin]);
-
-    p
 }
 
 #[cfg(test)]

@@ -90,6 +90,13 @@ impl Program {
         self.label = label;
     }
 
+    /// Empties the program while keeping its uop allocation, so a caller
+    /// can rebuild into the same buffer on every packet without touching
+    /// the allocator. The label is preserved.
+    pub fn clear(&mut self) {
+        self.uops.clear();
+    }
+
     /// The trace label spans for this program are recorded under.
     #[must_use]
     pub fn label(&self) -> &'static str {

@@ -176,12 +176,7 @@ impl FlowTable for ExactTable {
         }
     }
 
-    fn lookup_traced(
-        &self,
-        mem: &mut SimMemory,
-        key: &FlowKey,
-        software_locking: bool,
-    ) -> LookupTrace {
+    fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey, software_locking: bool) -> LookupTrace {
         match self {
             ExactTable::Cuckoo(t) => t.lookup_traced(mem, key, software_locking),
             ExactTable::CuckooPlusPlus(t) => t.lookup_traced(mem, key, software_locking),
@@ -217,7 +212,7 @@ mod tests {
             }
             for id in 0..500u64 {
                 assert_eq!(
-                    t.lookup(&mut mem, &FlowKey::synthetic(id, 13)),
+                    t.lookup(&mem, &FlowKey::synthetic(id, 13)),
                     Some(id),
                     "{} lost key {id}",
                     backend.name()
@@ -236,9 +231,9 @@ mod tests {
         let mut raw = CuckooTable::with_capacity_for(&mut mem, 100, 0.85, 13);
         let k = FlowKey::synthetic(7, 13);
         raw.insert(&mut mem, &k, 7).unwrap();
-        let direct = raw.lookup_traced(&mut mem, &k, true);
+        let direct = raw.lookup_traced(&mem, &k, true);
         let wrapped = ExactTable::Cuckoo(raw);
-        let via = wrapped.lookup_traced(&mut mem, &k, true);
+        let via = wrapped.lookup_traced(&mem, &k, true);
         assert_eq!(direct.result, via.result);
         assert_eq!(direct.steps, via.steps);
     }

@@ -67,8 +67,8 @@ pub use backend::{ExactTable, TableBackend};
 
 use halo_accel::HaloEngine;
 use halo_classify::{Emc, RuleMatch, TupleSpace};
-use halo_cpu::{build_sw_lookup, CoreModel, ExecReport, Program, Scratch};
-use halo_mem::{Addr, CoreId, MemorySystem, SimMemory, CACHE_LINE};
+use halo_cpu::{build_sw_lookup_into, CoreModel, ExecReport, Program, Scratch};
+use halo_mem::{Addr, CoreId, CoreMem, MemCtx, MemorySystem, SimMemory, CACHE_LINE};
 use halo_sim::{Cycle, Cycles};
 use halo_tables::{hash_key, FlowKey, FlowTable, LookupTrace, SEED_PRIMARY};
 
@@ -213,6 +213,9 @@ pub struct LookupExecutor {
     scratch: Scratch,
     backend: LookupBackend,
     nb: Option<NbRegion>,
+    /// Reusable program buffer: `run_sw` rebuilds the ~210-uop lookup
+    /// program in place instead of allocating one per packet.
+    prog_buf: Program,
 }
 
 impl LookupExecutor {
@@ -228,6 +231,7 @@ impl LookupExecutor {
             scratch,
             backend,
             nb: None,
+            prog_buf: Program::with_label("sw_lookup"),
         }
     }
 
@@ -273,24 +277,26 @@ impl LookupExecutor {
         self.nb.as_ref()
     }
 
-    /// Runs an arbitrary program on this core starting at `at`.
-    pub fn run(&mut self, prog: &Program, sys: &mut MemorySystem, at: Cycle) -> ExecReport {
+    /// Runs an arbitrary program on this core starting at `at`. Generic
+    /// over the memory context so the same executor serves the classic
+    /// sequential [`MemorySystem`] and an epoch-window shard.
+    pub fn run<S: CoreMem>(&mut self, prog: &Program, sys: &mut S, at: Cycle) -> ExecReport {
         self.core_model.run(prog, sys, at)
     }
 
     /// Replays one lookup trace in software on the core: builds the
     /// standard lookup program (hash + probes + compares, with the key
-    /// loaded from `key_addr` when given) and times it. Returns the
-    /// finish cycle.
-    pub fn run_sw(
+    /// loaded from `key_addr` when given) into the executor's reusable
+    /// buffer and times it. Returns the finish cycle.
+    pub fn run_sw<S: CoreMem>(
         &mut self,
-        sys: &mut MemorySystem,
+        sys: &mut S,
         trace: &LookupTrace,
         key_addr: Option<Addr>,
         at: Cycle,
     ) -> Cycle {
-        let prog = build_sw_lookup(trace, &mut self.scratch, key_addr);
-        self.core_model.run(&prog, sys, at).finish
+        build_sw_lookup_into(trace, &mut self.scratch, key_addr, &mut self.prog_buf);
+        self.core_model.run(&self.prog_buf, sys, at).finish
     }
 
     /// Times a full tuple-space search whose functional probes are
@@ -464,7 +470,7 @@ impl DatapathCore {
 
     /// Pre-installs `key -> action` into the EMC regardless of the
     /// promotion policy (steady-state warm start).
-    pub fn prime(&mut self, mem: &mut SimMemory, key: &FlowKey, action: u64) {
+    pub fn prime<M: MemCtx>(&mut self, mem: &mut M, key: &FlowKey, action: u64) {
         if let Some(emc) = &mut self.emc {
             emc.insert(mem, key, action);
         }
@@ -473,7 +479,7 @@ impl DatapathCore {
     /// Promotes `key -> action` into the EMC if the policy allows it
     /// (used by slow-path upcalls, which install resolved flows through
     /// the same gate as MegaFlow hits).
-    pub fn promote(&mut self, mem: &mut SimMemory, key: &FlowKey, action: u64) {
+    pub fn promote<M: MemCtx>(&mut self, mem: &mut M, key: &FlowKey, action: u64) {
         if self.emc_promotion {
             self.prime(mem, key, action);
         }
@@ -482,7 +488,7 @@ impl DatapathCore {
     /// Drops `key` from the EMC, if cached — called on flow expiry so a
     /// torn-down rule's exact match cannot outlive the rule. Returns
     /// whether an entry was invalidated.
-    pub fn invalidate(&mut self, mem: &mut SimMemory, key: &FlowKey) -> bool {
+    pub fn invalidate<M: MemCtx>(&mut self, mem: &mut M, key: &FlowKey) -> bool {
         self.emc
             .as_mut()
             .is_some_and(|emc| emc.invalidate(mem, key))
@@ -550,6 +556,81 @@ impl DatapathCore {
             self.exec.backend == LookupBackend::Software,
         );
         let done = self.exec.search(sys, engine, megaflow, key, &probes, t);
+        if let Some(hit) = &m {
+            self.promote(sys.data_mut(), key, hit.action);
+        }
+        sys.trace_span("datapath", "classify", at, done);
+        ClassifyOutcome {
+            action: m.as_ref().map(|h| h.action),
+            emc_hit: false,
+            megaflow: m,
+            emc_done,
+            megaflow_done: Some(done),
+            done,
+        }
+    }
+
+    /// Classifies one packet against any [`CoreMem`] context — the
+    /// classic sequential [`MemorySystem`] or one epoch-window shard
+    /// ([`halo_mem::EpochCore`]). Software backend only: HALO engine
+    /// dispatch mutates shared accelerator state and stays on the
+    /// classic [`Self::classify`] path.
+    ///
+    /// The EMC probe and promotion go through the context's own byte
+    /// store (the window's copy-on-write delta in epoch mode, so
+    /// per-core EMC updates stay private until the barrier); the
+    /// MegaFlow tables are read from the frozen master snapshot
+    /// ([`CoreMem::base`]) — control-plane writes only happen between
+    /// windows, so the snapshot is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either the search backend or the EMC backend is not
+    /// [`LookupBackend::Software`].
+    pub fn classify_epoch<S: CoreMem, T: FlowTable>(
+        &mut self,
+        sys: &mut S,
+        megaflow: &TupleSpace<T>,
+        key: &FlowKey,
+        key_addr: Option<Addr>,
+        at: Cycle,
+    ) -> ClassifyOutcome {
+        assert_eq!(
+            self.exec.backend,
+            LookupBackend::Software,
+            "epoch classification is software-only"
+        );
+        assert_eq!(
+            self.emc_backend,
+            LookupBackend::Software,
+            "epoch classification is software-only"
+        );
+        let mut t = at;
+        let mut emc_done = None;
+
+        if let Some(emc) = &self.emc {
+            let trace = emc.lookup_traced(sys.data_mut(), key);
+            let done = self.exec.run_sw(sys, &trace, key_addr, t);
+            emc_done = Some(done);
+            t = done;
+            if let Some(v) = trace.result {
+                sys.trace_span("datapath", "classify", at, t);
+                return ClassifyOutcome {
+                    action: Some(v),
+                    emc_hit: true,
+                    megaflow: None,
+                    emc_done,
+                    megaflow_done: None,
+                    done: t,
+                };
+            }
+        }
+
+        let (m, probes) = megaflow.classify_traced(sys.base(), key, true);
+        let mut done = t;
+        for (_, tr) in &probes {
+            done = self.exec.run_sw(sys, tr, None, done);
+        }
         if let Some(hit) = &m {
             self.promote(sys.data_mut(), key, hit.action);
         }

@@ -1,0 +1,1046 @@
+//! Deterministic epoch/window parallel execution of the memory system.
+//!
+//! The classic [`MemorySystem`] interleaves all simulated cores on one
+//! host thread. This module shards it so simulated cores can run on real
+//! OS threads inside a bounded cycle window (an *epoch*) and still
+//! produce output byte-identical to the single-threaded run of the same
+//! epoch schedule (DESIGN.md §13):
+//!
+//! * [`MemorySystem::epoch_split`] hands each core an [`EpochCore`]: an
+//!   exclusive `&mut` view of that core's private L1/L2 and ports, a
+//!   frozen shared snapshot of the LLC directory ([`LlcView`]) and data
+//!   store, and a line-granular copy-on-write overlay ([`CowMem`]) for
+//!   its writes.
+//! * Inside the window each core runs freely; every observable effect on
+//!   shared state (LLC/directory transitions, dirty writebacks) is
+//!   recorded as an [`LlcEvent`] instead of applied.
+//! * At the barrier, [`MemorySystem::epoch_merge`] replays each core's
+//!   event log and flushes each core's memory delta against the master
+//!   state **in fixed core order**, single-threaded.
+//!
+//! A core's window is therefore a pure function of (frozen snapshot,
+//! its own private state, its inputs); the thread pool only chooses
+//! *which host thread* evaluates each pure function, so any thread count
+//! yields the same bytes.
+//!
+//! The traits [`MemCtx`] (byte-addressed backing store: real
+//! [`SimMemory`] or a [`CowMem`] overlay) and [`CoreMem`] (the surface
+//! the simulated-core model needs: timed access + data + config) are the
+//! seams that let `halo-cpu`/`halo-datapath` run unchanged against
+//! either the classic system or an epoch shard.
+
+use crate::addr::{Addr, CoreId, LineAddr, SliceId, CACHE_LINE};
+use crate::cache::{CacheArray, Eviction, LineMeta, LineState};
+use crate::config::MachineConfig;
+use crate::memory::SimMemory;
+use crate::system::{slice_hash, AccessKind, AccessOutcome, HitLevel, MemStatIds, MemorySystem};
+use halo_sim::{BankedResource, Cycle, Cycles, Resource, Stats};
+use std::collections::{HashMap, HashSet};
+
+/// A byte-addressed backing store: the seam between table/EMC code and
+/// whether it runs against the real [`SimMemory`] or a per-core
+/// [`CowMem`] overlay inside an epoch window.
+pub trait MemCtx {
+    /// Reads `buf.len()` bytes starting at `addr`.
+    fn read_bytes(&self, addr: Addr, buf: &mut [u8]);
+    /// Writes `data` starting at `addr`.
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]);
+
+    /// Reads a little-endian `u64`.
+    fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+    /// Writes a little-endian `u64`.
+    fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+    /// Reads a little-endian `u32`.
+    fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Writes a little-endian `u32`.
+    fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+    /// Reads a little-endian `u16`.
+    fn read_u16(&self, addr: Addr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read_bytes(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+    /// Writes a little-endian `u16`.
+    fn write_u16(&mut self, addr: Addr, v: u16) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+    /// Reads one byte.
+    fn read_u8(&self, addr: Addr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b);
+        b[0]
+    }
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: Addr, v: u8) {
+        self.write_bytes(addr, &[v]);
+    }
+}
+
+impl MemCtx for SimMemory {
+    fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        SimMemory::read_bytes(self, addr, buf);
+    }
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        SimMemory::write_bytes(self, addr, data);
+    }
+}
+
+/// A line-granular copy-on-write overlay over a frozen [`SimMemory`].
+///
+/// Reads fall through to the base for untouched lines; the first write
+/// to a line copies it into the private delta. At the epoch barrier the
+/// delta is flushed to the master store in sorted line order
+/// ([`CowMem::into_sorted_delta`]), so the flush order is independent of
+/// the order the core produced the writes in.
+#[derive(Debug)]
+pub struct CowMem<'a> {
+    base: &'a SimMemory,
+    delta: HashMap<u64, [u8; CACHE_LINE as usize]>,
+}
+
+impl<'a> CowMem<'a> {
+    /// Creates an empty overlay over `base`.
+    #[must_use]
+    pub fn new(base: &'a SimMemory) -> Self {
+        CowMem {
+            base,
+            delta: HashMap::new(),
+        }
+    }
+
+    /// The frozen base store.
+    #[must_use]
+    pub fn base(&self) -> &'a SimMemory {
+        self.base
+    }
+
+    /// Number of lines copied into the private delta.
+    #[must_use]
+    pub fn dirty_lines(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Consumes the overlay, returning its dirty lines sorted by line
+    /// index (deterministic flush order for the barrier merge).
+    #[must_use]
+    pub fn into_sorted_delta(self) -> Vec<(u64, [u8; CACHE_LINE as usize])> {
+        let mut v: Vec<_> = self.delta.into_iter().collect();
+        v.sort_unstable_by_key(|&(line, _)| line);
+        v
+    }
+}
+
+impl MemCtx for CowMem<'_> {
+    fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        let mut pos = addr.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (pos % CACHE_LINE) as usize;
+            let n = (CACHE_LINE as usize - off).min(buf.len() - done);
+            match self.delta.get(&(pos / CACHE_LINE)) {
+                Some(line) => buf[done..done + n].copy_from_slice(&line[off..off + n]),
+                None => self.base.read_bytes(Addr(pos), &mut buf[done..done + n]),
+            }
+            pos += n as u64;
+            done += n;
+        }
+    }
+
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let base = self.base;
+        let mut pos = addr.0;
+        let mut done = 0usize;
+        while done < data.len() {
+            let off = (pos % CACHE_LINE) as usize;
+            let n = (CACHE_LINE as usize - off).min(data.len() - done);
+            let line = self.delta.entry(pos / CACHE_LINE).or_insert_with(|| {
+                let mut b = [0u8; CACHE_LINE as usize];
+                base.read_bytes(Addr((pos / CACHE_LINE) * CACHE_LINE), &mut b);
+                b
+            });
+            line[off..off + n].copy_from_slice(&data[done..done + n]);
+            pos += n as u64;
+            done += n;
+        }
+    }
+}
+
+/// The memory-system surface the simulated core model executes against:
+/// implemented by the classic [`MemorySystem`] and by a per-thread
+/// [`EpochCore`] shard.
+pub trait CoreMem {
+    /// The byte store functional reads/writes go through.
+    type Data: MemCtx;
+
+    /// Mutable access to the byte store (untimed functional access).
+    fn data_mut(&mut self) -> &mut Self::Data;
+    /// The frozen master store (epoch mode) or the live store (classic):
+    /// read-only structures shared across cores within a window.
+    fn base(&self) -> &SimMemory;
+    /// The machine configuration.
+    fn config(&self) -> &MachineConfig;
+    /// Performs a timed access from `core`.
+    fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind, at: Cycle) -> AccessOutcome;
+    /// Whether span tracing is on (always off inside epoch shards).
+    fn trace_enabled(&self) -> bool;
+    /// Records a span on behalf of a component (no-op when disabled).
+    fn trace_span(&mut self, component: &'static str, op: &'static str, start: Cycle, end: Cycle);
+}
+
+impl CoreMem for MemorySystem {
+    type Data = SimMemory;
+
+    fn data_mut(&mut self) -> &mut SimMemory {
+        MemorySystem::data_mut(self)
+    }
+    fn base(&self) -> &SimMemory {
+        self.data()
+    }
+    fn config(&self) -> &MachineConfig {
+        MemorySystem::config(self)
+    }
+    fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind, at: Cycle) -> AccessOutcome {
+        MemorySystem::access(self, core, addr, kind, at)
+    }
+    fn trace_enabled(&self) -> bool {
+        MemorySystem::trace_enabled(self)
+    }
+    fn trace_span(&mut self, component: &'static str, op: &'static str, start: Cycle, end: Cycle) {
+        MemorySystem::trace_span(self, component, op, start, end);
+    }
+}
+
+/// One deferred effect on shared LLC/directory state, recorded inside a
+/// window and replayed against the master at the barrier.
+#[derive(Debug, Clone, Copy)]
+enum LlcEvent {
+    /// Private store hit on an already-Modified line: home meta becomes
+    /// Modified with this core added to the sharer set.
+    Touch(LineAddr),
+    /// Store upgrade from a non-exclusive private copy: other sharers'
+    /// private copies are invalidated; home meta becomes exclusively
+    /// this core's, Modified.
+    Upgrade(LineAddr),
+    /// Private refill from an L2 hit: this core joins the sharer set.
+    FillSharer(LineAddr),
+    /// A full LLC walk (L2 miss): replayed as a master lookup with the
+    /// classic hit/miss transitions (install + eviction on miss,
+    /// dirty-owner downgrade + sharer updates on hit).
+    Access(LineAddr, AccessKind),
+    /// A dirty private-cache eviction wrote the line back: home meta
+    /// becomes Modified.
+    DirtyWb(LineAddr),
+}
+
+/// A frozen snapshot of the LLC directory plus a window-local overlay.
+///
+/// Probes consult the overlay first, then `peek` the frozen base arrays
+/// (no LRU perturbation). The overlay models no capacity or eviction —
+/// within one window the LLC is treated as unbounded; real install and
+/// eviction happen at replay (a documented, deterministic deviation).
+#[derive(Debug)]
+struct LlcView<'a> {
+    base: &'a [CacheArray],
+    slices: usize,
+    overlay: HashMap<u64, LineMeta>,
+    /// Lines whose remote dirty owner was already charged (and logically
+    /// downgraded) within this window.
+    snooped: HashSet<u64>,
+}
+
+impl<'a> LlcView<'a> {
+    fn new(base: &'a [CacheArray], slices: usize) -> Self {
+        LlcView {
+            base,
+            slices,
+            overlay: HashMap::new(),
+            snooped: HashSet::new(),
+        }
+    }
+
+    /// Current metadata of `line` as this window sees it.
+    fn probe(&self, line: LineAddr) -> Option<LineMeta> {
+        if let Some(m) = self.overlay.get(&line.0) {
+            return Some(m.clone());
+        }
+        let slice = slice_hash(line, self.slices);
+        self.base[slice.0].peek(line).cloned()
+    }
+
+    /// Mutable overlay entry for `line`, copied from the frozen base on
+    /// first touch; `None` if the line is resident nowhere.
+    fn entry(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        if !self.overlay.contains_key(&line.0) {
+            let slice = slice_hash(line, self.slices);
+            let m = self.base[slice.0].peek(line)?.clone();
+            self.overlay.insert(line.0, m);
+        }
+        self.overlay.get_mut(&line.0)
+    }
+
+    /// Installs `line` into the overlay (window-local LLC fill).
+    fn install(&mut self, line: LineAddr, core: CoreId, kind: AccessKind) {
+        let state = match kind {
+            AccessKind::Load => LineState::Shared,
+            AccessKind::Store => LineState::Modified,
+        };
+        self.overlay.insert(
+            line.0,
+            LineMeta {
+                line,
+                state,
+                lru: 0,
+                sharers: 1 << core.0,
+                locked: false,
+                accel_cv: false,
+            },
+        );
+    }
+}
+
+/// The per-core state handed to a worker thread for one epoch window:
+/// exclusive private caches and ports, cloned contention-free uncore
+/// ports, the frozen LLC view, a [`CowMem`] overlay, and the event log.
+///
+/// Produced by [`MemorySystem::epoch_split`]; turn into a
+/// [`WindowOutcome`] with [`EpochCore::finish`] once the window's work
+/// is done.
+#[derive(Debug)]
+pub struct EpochCore<'a> {
+    core: CoreId,
+    cfg: &'a MachineConfig,
+    mem: CowMem<'a>,
+    l1d: &'a mut CacheArray,
+    l2: &'a mut CacheArray,
+    l1_port: &'a mut BankedResource,
+    l2_port: &'a mut Resource,
+    /// Window-local clones: slice-port and DRAM contention from other
+    /// cores is not modeled *within* a window (documented deviation; the
+    /// clone is discarded at the barrier).
+    slice_port: Vec<Resource>,
+    dram: BankedResource,
+    llc: LlcView<'a>,
+    stats: Stats,
+    ids: MemStatIds,
+    events: Vec<LlcEvent>,
+}
+
+/// Everything a window produced, detached from the borrows of the
+/// [`MemorySystem`]: the event log, the memory delta, and the stat
+/// deltas. Collect these after the thread scope ends and feed them to
+/// [`MemorySystem::epoch_merge`].
+#[derive(Debug)]
+pub struct WindowOutcome {
+    core: CoreId,
+    events: Vec<LlcEvent>,
+    delta: Vec<(u64, [u8; CACHE_LINE as usize])>,
+    stats: Stats,
+}
+
+impl WindowOutcome {
+    /// The simulated core this outcome belongs to.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+}
+
+impl EpochCore<'_> {
+    /// The simulated core this shard executes.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Detaches the window's observable effects for the barrier merge.
+    #[must_use]
+    pub fn finish(self) -> WindowOutcome {
+        WindowOutcome {
+            core: self.core,
+            events: self.events,
+            delta: self.mem.into_sorted_delta(),
+            stats: self.stats,
+        }
+    }
+
+    fn hops(&self, core: CoreId, slice: SliceId) -> u64 {
+        let n = self.cfg.slices;
+        let a = core.0 % n;
+        let b = slice.0;
+        let d = a.abs_diff(b);
+        d.min(n - d) as u64
+    }
+
+    /// Timed access inside the window. Mirrors the classic
+    /// `MemorySystem::access` timing formulas exactly, but consults the
+    /// frozen LLC view for shared state and defers every shared-state
+    /// transition to the event log.
+    fn window_access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        at: Cycle,
+    ) -> AccessOutcome {
+        debug_assert_eq!(core, self.core, "epoch shard driven by a foreign core");
+        let line = addr.line();
+        match kind {
+            AccessKind::Load => self.stats.inc(self.ids.mem_load),
+            AccessKind::Store => self.stats.inc(self.ids.mem_store),
+        }
+
+        // L1 lookup (real, exclusive array).
+        let t_l1 = self.l1_port.serve(line.0 as usize, at);
+        if let Some(meta) = self.l1d.lookup(line) {
+            let state = meta.state;
+            self.stats.inc(self.ids.l1d_hit);
+            if kind == AccessKind::Store && state != LineState::Modified {
+                let t = self.upgrade_for_store(line, t_l1);
+                self.touch_private_store(line);
+                self.events.push(LlcEvent::Upgrade(line));
+                self.events.push(LlcEvent::Touch(line));
+                return AccessOutcome {
+                    complete: t,
+                    level: HitLevel::L1,
+                };
+            }
+            if kind == AccessKind::Store {
+                self.touch_private_store(line);
+                self.events.push(LlcEvent::Touch(line));
+            }
+            return AccessOutcome {
+                complete: t_l1,
+                level: HitLevel::L1,
+            };
+        }
+        self.stats.inc(self.ids.l1d_miss);
+
+        // L2 lookup (real, exclusive array).
+        let t_l2 = self.l2_port.serve(at).max(t_l1);
+        if let Some(meta) = self.l2.lookup(line) {
+            let state = meta.state;
+            self.stats.inc(self.ids.l2_hit);
+            let mut t = t_l2;
+            if kind == AccessKind::Store && state != LineState::Modified {
+                t = self.upgrade_for_store(line, t);
+                self.events.push(LlcEvent::Upgrade(line));
+            } else {
+                self.events.push(match kind {
+                    AccessKind::Load => LlcEvent::FillSharer(line),
+                    AccessKind::Store => LlcEvent::Touch(line),
+                });
+                if kind == AccessKind::Store {
+                    self.view_touch_store(line);
+                } else {
+                    self.view_fill_sharer(line);
+                }
+            }
+            self.fill_private(line, kind);
+            return AccessOutcome {
+                complete: t,
+                level: HitLevel::L2,
+            };
+        }
+        self.stats.inc(self.ids.l2_miss);
+
+        // LLC walk against the frozen view.
+        let slice = slice_hash(line, self.cfg.slices);
+        let wire = Cycles(2 * self.hops(core, slice) * self.cfg.hop_latency.0);
+        let t_llc = self.slice_port[slice.0].serve(t_l2 + wire);
+
+        if let Some(m) = self.llc.probe(line) {
+            self.stats.inc(self.ids.llc_hit);
+            let mut t = t_llc;
+            let mut level = HitLevel::Llc;
+
+            // Remote dirty owner, as the frozen view sees it: the home
+            // meta is Modified and some other core shares the line. The
+            // classic path probes the other cores' live private tags;
+            // those are unreachable from this shard, so the directory
+            // itself stands in (documented deviation — the replay uses
+            // the real tags for the master transition).
+            let others = m.sharers & !(1 << core.0);
+            if m.state == LineState::Modified && others != 0 && !self.llc.snooped.contains(&line.0)
+            {
+                self.stats.inc(self.ids.llc_dirty_snoop);
+                t += self.cfg.dirty_snoop_latency;
+                level = HitLevel::LlcRemoteDirty;
+                self.llc.snooped.insert(line.0);
+            }
+
+            if kind == AccessKind::Store && m.sharers != 0 {
+                t = self.invalidate_other_sharers_timing(line, slice, t, m.sharers);
+            }
+            // Window-local directory transition mirroring llc_note_access.
+            if let Some(meta) = self.llc.entry(line) {
+                match kind {
+                    AccessKind::Load => meta.sharers |= 1 << core.0,
+                    AccessKind::Store => {
+                        meta.sharers = 1 << core.0;
+                        meta.state = LineState::Modified;
+                    }
+                }
+            }
+            self.fill_private(line, kind);
+            self.events.push(LlcEvent::Access(line, kind));
+            return AccessOutcome { complete: t, level };
+        }
+        self.stats.inc(self.ids.llc_miss);
+
+        // DRAM (window-local channel clone).
+        let chan = (line.0 ^ (line.0 >> 9)) as usize;
+        let t_dram = self.dram.serve(chan, t_llc);
+        self.stats.inc(self.ids.dram_access);
+        self.llc.install(line, core, kind);
+        self.fill_private(line, kind);
+        self.events.push(LlcEvent::Access(line, kind));
+        AccessOutcome {
+            complete: t_dram,
+            level: HitLevel::Dram,
+        }
+    }
+
+    /// Store-upgrade timing against the frozen sharer mask (the lock
+    /// table is asserted empty before a split, so the classic lock check
+    /// is vacuous here).
+    fn upgrade_for_store(&mut self, line: LineAddr, at: Cycle) -> Cycle {
+        let slice = slice_hash(line, self.cfg.slices);
+        let wire = Cycles(2 * self.hops(self.core, slice) * self.cfg.hop_latency.0);
+        let t = at + wire + Cycles(self.cfg.llc_latency.0 / 2);
+        let sharers = self.llc.probe(line).map_or(0, |m| m.sharers);
+        let t = if sharers != 0 {
+            self.invalidate_other_sharers_timing(line, slice, t, sharers)
+        } else {
+            t
+        };
+        if let Some(meta) = self.llc.entry(line) {
+            meta.sharers = 1 << self.core.0;
+            meta.state = LineState::Modified;
+        }
+        t
+    }
+
+    /// Timing (and stat) mirror of `invalidate_other_sharers`, computed
+    /// from the view's sharer mask; the actual invalidations replay at
+    /// the barrier.
+    fn invalidate_other_sharers_timing(
+        &mut self,
+        line: LineAddr,
+        slice: SliceId,
+        at: Cycle,
+        sharers: u64,
+    ) -> Cycle {
+        let others = sharers & !(1 << self.core.0);
+        if let Some(meta) = self.llc.entry(line) {
+            meta.sharers = 1 << self.core.0;
+            meta.state = LineState::Modified;
+        }
+        if others == 0 {
+            return at;
+        }
+        self.stats.inc(self.ids.coherence_invalidation);
+        let mut t = at;
+        for c in 0..self.cfg.cores {
+            if others & (1 << c) != 0 {
+                let d = Cycles(self.hops(CoreId(c), slice) * self.cfg.hop_latency.0 * 2);
+                t = t.max(at + d);
+            }
+        }
+        t
+    }
+
+    fn view_touch_store(&mut self, line: LineAddr) {
+        if let Some(meta) = self.llc.entry(line) {
+            meta.state = LineState::Modified;
+            meta.sharers |= 1 << self.core.0;
+        }
+    }
+
+    fn view_fill_sharer(&mut self, line: LineAddr) {
+        if let Some(meta) = self.llc.entry(line) {
+            meta.sharers |= 1 << self.core.0;
+        }
+    }
+
+    fn touch_private_store(&mut self, line: LineAddr) {
+        if let Some(m) = self.l1d.peek_mut(line) {
+            m.state = LineState::Modified;
+        }
+        if let Some(m) = self.l2.peek_mut(line) {
+            m.state = LineState::Modified;
+        }
+        self.view_touch_store(line);
+    }
+
+    fn fill_private(&mut self, line: LineAddr, kind: AccessKind) {
+        let state = match kind {
+            AccessKind::Load => LineState::Shared,
+            AccessKind::Store => LineState::Modified,
+        };
+        if self.l2.peek(line).is_none() {
+            let ev = self.l2.insert(line, state);
+            self.handle_private_eviction(ev);
+        } else if kind == AccessKind::Store {
+            if let Some(m) = self.l2.peek_mut(line) {
+                m.state = LineState::Modified;
+            }
+        }
+        if self.l1d.peek(line).is_none() {
+            let ev = self.l1d.insert(line, state);
+            self.handle_private_eviction(ev);
+        } else if kind == AccessKind::Store {
+            if let Some(m) = self.l1d.peek_mut(line) {
+                m.state = LineState::Modified;
+            }
+        }
+        self.view_fill_sharer(line);
+    }
+
+    fn handle_private_eviction(&mut self, ev: Eviction) {
+        match ev {
+            Eviction::None | Eviction::Clean(_) => {}
+            Eviction::Dirty(l) => {
+                self.stats.inc(self.ids.private_writeback);
+                if let Some(meta) = self.llc.entry(l) {
+                    meta.state = LineState::Modified;
+                }
+                self.events.push(LlcEvent::DirtyWb(l));
+            }
+        }
+    }
+}
+
+impl<'a> CoreMem for EpochCore<'a> {
+    type Data = CowMem<'a>;
+
+    fn data_mut(&mut self) -> &mut CowMem<'a> {
+        &mut self.mem
+    }
+    fn base(&self) -> &SimMemory {
+        self.mem.base()
+    }
+    fn config(&self) -> &MachineConfig {
+        self.cfg
+    }
+    fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind, at: Cycle) -> AccessOutcome {
+        self.window_access(core, addr, kind, at)
+    }
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+    fn trace_span(&mut self, _c: &'static str, _o: &'static str, _s: Cycle, _e: Cycle) {}
+}
+
+impl MemorySystem {
+    /// Splits the system into one [`EpochCore`] shard per simulated core
+    /// (the first `cores` of them) for one epoch window. Each shard
+    /// borrows that core's private caches and ports exclusively and sees
+    /// the LLC directory and data store frozen at this instant.
+    ///
+    /// Shards are [`Send`], so they can be moved into a
+    /// [`std::thread::scope`]; while they live, the system itself is
+    /// inaccessible (the borrow checker enforces the barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` exceeds the configured core count, if tracing
+    /// is enabled, or if hardware locks are held (epoch mode covers the
+    /// software datapath only; callers fall back to the classic
+    /// sequential path otherwise).
+    pub fn epoch_split(&mut self, cores: usize) -> Vec<EpochCore<'_>> {
+        assert!(cores <= self.cfg.cores, "core out of range");
+        assert!(
+            !self.tracer.is_enabled(),
+            "epoch mode does not support span tracing"
+        );
+        assert!(
+            self.locks.is_empty(),
+            "epoch mode does not support in-flight hardware locks"
+        );
+        let cfg = &self.cfg;
+        let mem = &self.mem;
+        let llc = &self.llc[..];
+        let ids = self.ids;
+        let stats_proto = {
+            let mut s = self.stats.clone();
+            s.clear();
+            s
+        };
+        let slice_port = self.slice_port.clone();
+        let dram = self.dram.clone();
+        self.l1d
+            .iter_mut()
+            .zip(self.l2.iter_mut())
+            .zip(self.l1_port.iter_mut())
+            .zip(self.l2_port.iter_mut())
+            .take(cores)
+            .enumerate()
+            .map(|(i, (((l1d, l2), l1_port), l2_port))| EpochCore {
+                core: CoreId(i),
+                cfg,
+                mem: CowMem::new(mem),
+                l1d,
+                l2,
+                l1_port,
+                l2_port,
+                slice_port: slice_port.clone(),
+                dram: dram.clone(),
+                llc: LlcView::new(llc, cfg.slices),
+                stats: stats_proto.clone(),
+                ids,
+                events: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Merges the outcomes of one epoch window back into the master
+    /// state, replaying each core's event log and flushing its memory
+    /// delta **in ascending core order**, single-threaded. Outcomes may
+    /// arrive in any order; they are sorted here, so the merge result is
+    /// independent of thread scheduling.
+    pub fn epoch_merge(&mut self, mut outcomes: Vec<WindowOutcome>) {
+        outcomes.sort_by_key(|o| o.core.0);
+        for out in outcomes {
+            for &ev in &out.events {
+                self.replay(out.core, ev);
+            }
+            for (line, bytes) in out.delta {
+                self.mem.write_bytes(Addr(line * CACHE_LINE), &bytes);
+            }
+            self.stats.merge(&out.stats);
+        }
+    }
+
+    /// Applies one deferred shared-state transition to the master LLC
+    /// and the *other* cores' private caches. All request-level stats
+    /// were already counted inside the window; only eviction effects
+    /// discovered here (writebacks, back-invalidations), which the
+    /// window cannot see, are counted at replay — replay runs in fixed
+    /// order, so the counts stay deterministic.
+    fn replay(&mut self, core: CoreId, ev: LlcEvent) {
+        match ev {
+            LlcEvent::Touch(line) => {
+                let slice = self.home_slice(line);
+                if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+                    meta.state = LineState::Modified;
+                    meta.sharers |= 1 << core.0;
+                }
+            }
+            LlcEvent::Upgrade(line) => {
+                let slice = self.home_slice(line);
+                let Some(meta) = self.llc[slice.0].peek_mut(line) else {
+                    return;
+                };
+                let others = meta.sharers & !(1 << core.0);
+                meta.sharers = 1 << core.0;
+                meta.state = LineState::Modified;
+                for c in 0..self.cfg.cores {
+                    if others & (1 << c) != 0 {
+                        self.l1d[c].invalidate(line);
+                        self.l2[c].invalidate(line);
+                    }
+                }
+            }
+            LlcEvent::FillSharer(line) => {
+                let slice = self.home_slice(line);
+                if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+                    meta.sharers |= 1 << core.0;
+                }
+            }
+            LlcEvent::Access(line, kind) => self.replay_access(core, line, kind),
+            LlcEvent::DirtyWb(line) => {
+                let slice = self.home_slice(line);
+                if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+                    meta.state = LineState::Modified;
+                }
+            }
+        }
+    }
+
+    /// Replays a full LLC walk: the classic hit/miss master transitions
+    /// (LRU bump, dirty-owner downgrade against the real private tags,
+    /// sharer updates, install + inclusive eviction on miss), without
+    /// re-counting the request-level stats the window already counted.
+    fn replay_access(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) {
+        let slice = self.home_slice(line);
+        if self.llc[slice.0].lookup(line).is_some() {
+            let sharers = self.llc[slice.0].peek(line).map_or(0, |m| m.sharers);
+            // Dirty-owner probe against the real private tags.
+            let mut dirty_owner = None;
+            for c in 0..self.cfg.cores {
+                if sharers & (1 << c) != 0 {
+                    let m1 = self.l1d[c].peek(line).map(|m| m.state);
+                    let m2 = self.l2[c].peek(line).map(|m| m.state);
+                    if m1 == Some(LineState::Modified) || m2 == Some(LineState::Modified) {
+                        dirty_owner = Some(CoreId(c));
+                        break;
+                    }
+                }
+            }
+            if let Some(owner) = dirty_owner {
+                if owner != core {
+                    self.downgrade_owner_master(owner, line);
+                }
+            }
+            if kind == AccessKind::Store {
+                let others = sharers & !(1 << core.0);
+                for c in 0..self.cfg.cores {
+                    if others & (1 << c) != 0 {
+                        self.l1d[c].invalidate(line);
+                        self.l2[c].invalidate(line);
+                    }
+                }
+            }
+            if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+                match kind {
+                    AccessKind::Load => meta.sharers |= 1 << core.0,
+                    AccessKind::Store => {
+                        meta.sharers = 1 << core.0;
+                        meta.state = LineState::Modified;
+                    }
+                }
+            }
+        } else {
+            let state = match kind {
+                AccessKind::Load => LineState::Shared,
+                AccessKind::Store => LineState::Modified,
+            };
+            let ev = self.llc[slice.0].insert(line, state);
+            self.replay_llc_eviction(ev);
+            if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+                meta.sharers = 1 << core.0;
+            }
+        }
+    }
+
+    fn downgrade_owner_master(&mut self, owner: CoreId, line: LineAddr) {
+        if let Some(m) = self.l1d[owner.0].peek_mut(line) {
+            m.state = LineState::Shared;
+        }
+        if let Some(m) = self.l2[owner.0].peek_mut(line) {
+            m.state = LineState::Shared;
+        }
+        let slice = self.home_slice(line);
+        if let Some(meta) = self.llc[slice.0].peek_mut(line) {
+            meta.state = LineState::Modified;
+        }
+    }
+
+    /// Inclusive-eviction handling at replay. Eviction stats are counted
+    /// here (not in the window, which cannot observe master evictions);
+    /// replay order is fixed, so the counts are thread-count-invariant.
+    fn replay_llc_eviction(&mut self, ev: Eviction) {
+        let victim = match ev {
+            Eviction::None => return,
+            Eviction::Clean(l) => l,
+            Eviction::Dirty(l) => {
+                self.stats.inc(self.ids.llc_writeback);
+                l
+            }
+        };
+        let mut invalidated = false;
+        for c in 0..self.cfg.cores {
+            if self.l1d[c].invalidate(victim).is_some() {
+                invalidated = true;
+            }
+            if self.l2[c].invalidate(victim).is_some() {
+                invalidated = true;
+            }
+        }
+        if invalidated {
+            self.stats.inc(self.ids.llc_back_inval);
+        }
+        self.locks.remove(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MachineConfig::small())
+    }
+
+    const fn assert_send<T: Send>() {}
+    const _: () = assert_send::<EpochCore<'_>>();
+    const _: () = assert_send::<WindowOutcome>();
+
+    #[test]
+    fn cow_mem_reads_through_and_overlays_writes() {
+        let mut base = SimMemory::new();
+        let a = base.alloc_lines(256);
+        base.write_u64(a, 11);
+        base.write_u64(a + 64, 22);
+        let mut cow = CowMem::new(&base);
+        assert_eq!(cow.read_u64(a), 11);
+        cow.write_u64(a, 99);
+        cow.write_u8(a + 70, 7);
+        assert_eq!(cow.read_u64(a), 99, "write visible through overlay");
+        assert_eq!(cow.read_u64(a + 64), 22 | (7 << 48), "partial-line CoW");
+        assert_eq!(cow.dirty_lines(), 2);
+        let delta = cow.into_sorted_delta();
+        assert_eq!(delta.len(), 2);
+        assert!(delta[0].0 < delta[1].0, "delta sorted by line");
+        assert_eq!(base.read_u64(a), 11, "base untouched until merge");
+    }
+
+    #[test]
+    fn cow_mem_crosses_line_boundaries() {
+        let mut base = SimMemory::new();
+        let a = base.alloc_lines(256);
+        let mut cow = CowMem::new(&base);
+        let data: Vec<u8> = (0..100u8).collect();
+        cow.write_bytes(a + 30, &data);
+        let mut back = vec![0u8; 100];
+        cow.read_bytes(a + 30, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(cow.dirty_lines(), 3, "spans three lines");
+    }
+
+    /// The invariant the whole scheme rests on: a window executed
+    /// against a shard and merged equals the classic sequential
+    /// execution for single-core traffic (where no cross-core
+    /// interleaving exists to differ on).
+    #[test]
+    fn single_core_window_matches_classic_run() {
+        let mk = |n: u64| {
+            let mut s = sys();
+            let base = s.data_mut().alloc_lines(64 * n);
+            (s, base)
+        };
+        let n = 200u64;
+        let (mut classic, base_a) = mk(n);
+        let (mut epoch, base_b) = mk(n);
+        assert_eq!(base_a, base_b);
+
+        let mut t_classic = Cycle(0);
+        for i in 0..n {
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            t_classic = classic
+                .access(CoreId(0), base_a + (i % 50) * 64, kind, t_classic)
+                .complete;
+        }
+
+        let mut t_epoch = Cycle(0);
+        {
+            let mut fleet = epoch.epoch_split(1);
+            let shard = &mut fleet[0];
+            for i in 0..n {
+                let kind = if i % 3 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                t_epoch = shard
+                    .window_access(CoreId(0), base_b + (i % 50) * 64, kind, t_epoch)
+                    .complete;
+            }
+            let out: Vec<_> = fleet.into_iter().map(EpochCore::finish).collect();
+            epoch.epoch_merge(out);
+        }
+
+        assert_eq!(t_classic, t_epoch, "single-core timing must be identical");
+        for key in ["mem.load", "mem.store", "l1d.hit", "l1d.miss", "llc.miss"] {
+            assert_eq!(
+                classic.stats().counter(key),
+                epoch.stats().counter(key),
+                "counter {key}"
+            );
+        }
+        // Master cache state converged identically.
+        for i in 0..50u64 {
+            let a = base_a + i * 64;
+            assert_eq!(classic.in_l1(CoreId(0), a), epoch.in_l1(CoreId(0), a));
+            assert_eq!(classic.in_llc(a), epoch.in_llc(a));
+        }
+    }
+
+    /// Two cores, two threads vs. inline: the merged master state and
+    /// stats must not depend on which host thread ran which shard.
+    #[test]
+    fn two_core_window_is_thread_invariant() {
+        let run = |threaded: bool| -> (Vec<u64>, Vec<bool>) {
+            let mut s = sys();
+            let base = s.data_mut().alloc_lines(64 * 64);
+            let mut fleet = s.epoch_split(2);
+            let work = |shard: &mut EpochCore<'_>, salt: u64| {
+                let core = shard.core();
+                let mut t = Cycle(0);
+                for i in 0..120u64 {
+                    let kind = if (i + salt).is_multiple_of(4) {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    t = shard
+                        .window_access(core, base + ((i * 7 + salt) % 40) * 64, kind, t)
+                        .complete;
+                }
+            };
+            if threaded {
+                std::thread::scope(|scope| {
+                    for (i, shard) in fleet.iter_mut().enumerate() {
+                        scope.spawn(move || work(shard, i as u64));
+                    }
+                });
+            } else {
+                // Reverse order on purpose: merge must not care.
+                for (i, shard) in fleet.iter_mut().enumerate().rev() {
+                    work(shard, i as u64);
+                }
+            }
+            let out: Vec<_> = fleet.into_iter().map(EpochCore::finish).collect();
+            s.epoch_merge(out);
+            let counters = [
+                "mem.load",
+                "mem.store",
+                "l1d.hit",
+                "llc.hit",
+                "llc.miss",
+                "dram.access",
+                "coherence.invalidation",
+            ]
+            .iter()
+            .map(|k| s.stats().counter(k))
+            .collect();
+            let residency = (0..40u64)
+                .flat_map(|i| {
+                    let a = base + i * 64;
+                    [s.in_llc(a), s.in_l1(CoreId(0), a), s.in_l1(CoreId(1), a)]
+                })
+                .collect();
+            (counters, residency)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn window_writes_reach_master_only_at_merge() {
+        let mut s = sys();
+        let a = s.data_mut().alloc_lines(64);
+        s.data_mut().write_u64(a, 5);
+        let mut fleet = s.epoch_split(1);
+        fleet[0].data_mut().write_u64(a, 42);
+        assert_eq!(fleet[0].data_mut().read_u64(a), 42);
+        let out: Vec<_> = fleet.into_iter().map(EpochCore::finish).collect();
+        s.epoch_merge(out);
+        assert_eq!(s.data_mut().read_u64(a), 42);
+    }
+}

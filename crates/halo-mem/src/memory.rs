@@ -80,15 +80,21 @@ impl SimMemory {
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
-    pub fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+    ///
+    /// Pages never written read as zeros without being materialized, so
+    /// read-only probes (and concurrent epoch-window readers) leave the
+    /// page map untouched.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
         let mut pos = addr.0;
         let mut done = 0usize;
         while done < buf.len() {
             let in_page = (PAGE_SIZE - (pos % PAGE_SIZE)) as usize;
             let n = in_page.min(buf.len() - done);
             let off = (pos % PAGE_SIZE) as usize;
-            let page = self.page(pos);
-            buf[done..done + n].copy_from_slice(&page[off..off + n]);
+            match self.pages.get(&(pos >> PAGE_SHIFT)) {
+                Some(page) => buf[done..done + n].copy_from_slice(&page[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
             pos += n as u64;
             done += n;
         }
@@ -110,7 +116,7 @@ impl SimMemory {
     }
 
     /// Reads a little-endian `u64`.
-    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+    pub fn read_u64(&self, addr: Addr) -> u64 {
         let mut b = [0u8; 8];
         self.read_bytes(addr, &mut b);
         u64::from_le_bytes(b)
@@ -122,7 +128,7 @@ impl SimMemory {
     }
 
     /// Reads a little-endian `u32`.
-    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+    pub fn read_u32(&self, addr: Addr) -> u32 {
         let mut b = [0u8; 4];
         self.read_bytes(addr, &mut b);
         u32::from_le_bytes(b)
@@ -134,7 +140,7 @@ impl SimMemory {
     }
 
     /// Reads a little-endian `u16`.
-    pub fn read_u16(&mut self, addr: Addr) -> u16 {
+    pub fn read_u16(&self, addr: Addr) -> u16 {
         let mut b = [0u8; 2];
         self.read_bytes(addr, &mut b);
         u16::from_le_bytes(b)
@@ -146,7 +152,7 @@ impl SimMemory {
     }
 
     /// Reads one byte.
-    pub fn read_u8(&mut self, addr: Addr) -> u8 {
+    pub fn read_u8(&self, addr: Addr) -> u8 {
         let mut b = [0u8; 1];
         self.read_bytes(addr, &mut b);
         b[0]
@@ -205,8 +211,10 @@ mod tests {
 
     #[test]
     fn untouched_memory_is_zero() {
-        let mut mem = SimMemory::new();
+        let mem = SimMemory::new();
         assert_eq!(mem.read_u64(Addr(123_456)), 0);
+        // Reads must not materialize pages.
+        assert_eq!(mem.resident_pages(), 0);
     }
 
     #[test]

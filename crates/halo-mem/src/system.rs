@@ -65,23 +65,23 @@ pub struct AccessOutcome {
 /// ```
 #[derive(Debug)]
 pub struct MemorySystem {
-    cfg: MachineConfig,
-    mem: SimMemory,
-    l1d: Vec<CacheArray>,
-    l2: Vec<CacheArray>,
-    llc: Vec<CacheArray>,
-    l1_port: Vec<BankedResource>,
-    l2_port: Vec<Resource>,
-    slice_port: Vec<Resource>,
-    dram: BankedResource,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) mem: SimMemory,
+    pub(crate) l1d: Vec<CacheArray>,
+    pub(crate) l2: Vec<CacheArray>,
+    pub(crate) llc: Vec<CacheArray>,
+    pub(crate) l1_port: Vec<BankedResource>,
+    pub(crate) l2_port: Vec<Resource>,
+    pub(crate) slice_port: Vec<Resource>,
+    pub(crate) dram: BankedResource,
     /// HALO hardware lock bits: line -> cycle at which the lock releases.
-    locks: LockTable,
-    stats: Stats,
-    ids: MemStatIds,
+    pub(crate) locks: LockTable,
+    pub(crate) stats: Stats,
+    pub(crate) ids: MemStatIds,
     /// Cycle-attribution sink (DESIGN.md §10). Off by default; every
     /// instrumented path checks [`Tracer::is_enabled`] first, so the
     /// disabled cost is one branch per access.
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
 }
 
 /// Span op name for an access satisfied at `level` (core-initiated).
@@ -113,30 +113,30 @@ fn accel_level_op(level: HitLevel) -> &'static str {
 /// never performs a string lookup. `Stats::clear` zeroes values but
 /// keeps registrations, so these handles survive `clear_stats`.
 #[derive(Debug, Clone, Copy)]
-struct MemStatIds {
-    mem_load: StatId,
-    mem_store: StatId,
-    l1d_hit: StatId,
-    l1d_miss: StatId,
-    l2_hit: StatId,
-    l2_miss: StatId,
-    llc_hit: StatId,
-    llc_miss: StatId,
-    dram_access: StatId,
-    store_lock_retry: StatId,
-    llc_dirty_snoop: StatId,
-    mem_snapshot_read: StatId,
-    accel_access: StatId,
-    accel_llc_hit: StatId,
-    accel_llc_miss: StatId,
-    hw_lock_set: StatId,
-    dma_write: StatId,
-    flush_private: StatId,
-    fault_force_evict: StatId,
-    llc_writeback: StatId,
-    llc_back_inval: StatId,
-    private_writeback: StatId,
-    coherence_invalidation: StatId,
+pub(crate) struct MemStatIds {
+    pub(crate) mem_load: StatId,
+    pub(crate) mem_store: StatId,
+    pub(crate) l1d_hit: StatId,
+    pub(crate) l1d_miss: StatId,
+    pub(crate) l2_hit: StatId,
+    pub(crate) l2_miss: StatId,
+    pub(crate) llc_hit: StatId,
+    pub(crate) llc_miss: StatId,
+    pub(crate) dram_access: StatId,
+    pub(crate) store_lock_retry: StatId,
+    pub(crate) llc_dirty_snoop: StatId,
+    pub(crate) mem_snapshot_read: StatId,
+    pub(crate) accel_access: StatId,
+    pub(crate) accel_llc_hit: StatId,
+    pub(crate) accel_llc_miss: StatId,
+    pub(crate) hw_lock_set: StatId,
+    pub(crate) dma_write: StatId,
+    pub(crate) flush_private: StatId,
+    pub(crate) fault_force_evict: StatId,
+    pub(crate) llc_writeback: StatId,
+    pub(crate) llc_back_inval: StatId,
+    pub(crate) private_writeback: StatId,
+    pub(crate) coherence_invalidation: StatId,
 }
 
 impl MemStatIds {
@@ -171,7 +171,7 @@ impl MemStatIds {
 
 /// The Intel-style address hash assigning a line to its home slice.
 #[inline]
-fn slice_hash(line: LineAddr, slices: usize) -> SliceId {
+pub(crate) fn slice_hash(line: LineAddr, slices: usize) -> SliceId {
     let h = line.0 ^ (line.0 >> 7) ^ (line.0 >> 17);
     SliceId((h as usize) % slices)
 }
@@ -223,10 +223,8 @@ impl MemorySystem {
         &self.cfg
     }
 
-    /// Immutable access to the backing data store.
-    ///
-    /// (Reads of `SimMemory` need `&mut` because pages materialize on
-    /// first touch; use [`data_mut`](Self::data_mut).)
+    /// Immutable access to the backing data store (reads of absent pages
+    /// return zeros without materializing them).
     #[must_use]
     pub fn data(&self) -> &SimMemory {
         &self.mem

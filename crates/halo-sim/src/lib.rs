@@ -55,8 +55,8 @@ pub use resource::{BankedResource, OutstandingWindow, Resource};
 pub use rng::{SplitMix64, StreamZipf, Zipf};
 pub use stats::{Counter, StatId, Stats, Summary};
 pub use sweep::{
-    default_jobs, observed_parallelism, point_seed, FnPoint, SweepPoint, SweepRunner, SweepTiming,
-    JOBS_ENV,
+    default_jobs, observed_parallelism, point_seed, FnPoint, ParallelismReport, SweepPoint,
+    SweepRunner, SweepTiming, JOBS_ENV,
 };
 pub use table::{fmt_f64, TextTable};
 pub use trace::{LatencyHistogram, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY, HIST_BUCKETS};

@@ -87,6 +87,77 @@ pub fn observed_parallelism() -> usize {
     OBSERVED_PEAK.load(Ordering::Relaxed)
 }
 
+/// A uniform record of how parallel a benchmark run really was: what
+/// the host offers, what the run was configured with, and the peak
+/// concurrency actually observed.
+///
+/// Every benchmark JSON document (`BENCH_sweep.json`,
+/// `SCALE_flows.json`, `BENCH_parallel.json`) embeds the same three
+/// fields through [`ParallelismReport::json_fields`], and every
+/// wall-clock speedup assertion gates on
+/// [`ParallelismReport::can_assert_speedup`]: shared CI runners often
+/// expose a single core, where ~1.0x is the correct outcome, not a
+/// failure — those hosts skip the assertion with a note instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelismReport {
+    /// Cores the host OS reports available to this process.
+    pub host: usize,
+    /// Worker/thread count the parallel runs were configured with.
+    pub jobs: usize,
+    /// Peak number of sweep points observed executing simultaneously in
+    /// this process (see [`observed_parallelism`]; 0 until a sweep has
+    /// run — thread-pool runs that bypass the sweep runner leave it
+    /// untouched).
+    pub observed: usize,
+}
+
+impl ParallelismReport {
+    /// Snapshots the host parallelism and the process-global observed
+    /// peak next to the configured worker count.
+    #[must_use]
+    pub fn capture(jobs: usize) -> Self {
+        ParallelismReport {
+            host: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            jobs,
+            observed: observed_parallelism(),
+        }
+    }
+
+    /// Whether a wall-clock speedup assertion is meaningful: the host
+    /// must offer at least `min_host` cores (floored at 2) and the
+    /// parallel run must have been configured with at least two
+    /// workers.
+    #[must_use]
+    pub fn can_assert_speedup(&self, min_host: usize) -> bool {
+        self.host >= min_host.max(2) && self.jobs >= 2
+    }
+
+    /// One-line explanation for stderr when a speedup assertion is
+    /// skipped.
+    #[must_use]
+    pub fn skip_note(&self) -> String {
+        format!(
+            "skipping speedup assertion (host parallelism {}, jobs {}, observed {}; \
+             ~1.0x expected)",
+            self.host, self.jobs, self.observed
+        )
+    }
+
+    /// The shared parallelism header for benchmark JSON documents:
+    /// `jobs`, `host_parallelism`, and `observed_parallelism`. Every
+    /// field sits on a line containing `parallelism`, so
+    /// jobs-invariance tests can strip the whole header — which varies
+    /// with worker count and process history by design — with a single
+    /// line filter.
+    #[must_use]
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"jobs\": {}, \"host_parallelism\": {},\n  \"observed_parallelism\": {},\n",
+            self.jobs, self.host, self.observed
+        )
+    }
+}
+
 /// Scope guard bumping the observed-concurrency counters around one
 /// point's execution.
 struct ActivePoint;
@@ -473,6 +544,39 @@ impl SweepRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The gate floors `min_host` at 2 and requires >= 2 workers; the
+    /// JSON header keeps every field on a `parallelism`-bearing line so
+    /// invariance tests can strip it wholesale.
+    #[test]
+    fn parallelism_report_gates_and_serializes() {
+        let r = ParallelismReport {
+            host: 4,
+            jobs: 4,
+            observed: 3,
+        };
+        assert!(r.can_assert_speedup(2));
+        assert!(r.can_assert_speedup(4));
+        assert!(!r.can_assert_speedup(5));
+        assert!(!ParallelismReport { jobs: 1, ..r }.can_assert_speedup(2));
+        assert!(!ParallelismReport { host: 1, ..r }.can_assert_speedup(0));
+        let json = r.json_fields();
+        for key in [
+            "\"jobs\": 4",
+            "\"host_parallelism\": 4",
+            "\"observed_parallelism\": 3",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(
+            json.lines().all(|l| l.contains("parallelism")),
+            "every header line must be strippable by a 'parallelism' filter: {json}"
+        );
+        assert!(r.skip_note().contains("host parallelism 4"));
+        let captured = ParallelismReport::capture(7);
+        assert_eq!(captured.jobs, 7);
+        assert!(captured.host >= 1);
+    }
 
     #[test]
     fn seed_depends_on_name_and_index() {

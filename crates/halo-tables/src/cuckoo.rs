@@ -286,7 +286,7 @@ impl CuckooTable {
 
     /// Functional lookup.
     #[must_use]
-    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    pub fn lookup(&self, mem: &SimMemory, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key, false).result
     }
 
@@ -298,7 +298,7 @@ impl CuckooTable {
     #[must_use]
     pub fn lookup_traced(
         &self,
-        mem: &mut SimMemory,
+        mem: &SimMemory,
         key: &FlowKey,
         software_locking: bool,
     ) -> LookupTrace {
@@ -467,11 +467,11 @@ mod tests {
     fn insert_lookup_remove() {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         t.insert(&mut mem, &k, 99).unwrap();
-        assert_eq!(t.lookup(&mut mem, &k), Some(99));
+        assert_eq!(t.lookup(&mem, &k), Some(99));
         assert_eq!(t.remove(&mut mem, &k), Some(99));
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         assert!(t.is_empty());
     }
 
@@ -482,7 +482,7 @@ mod tests {
         t.insert(&mut mem, &k, 1).unwrap();
         t.insert(&mut mem, &k, 2).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(2));
+        assert_eq!(t.lookup(&mem, &k), Some(2));
     }
 
     #[test]
@@ -504,7 +504,7 @@ mod tests {
         // Everything inserted must still be findable.
         for id in 0..inserted as u64 {
             assert_eq!(
-                t.lookup(&mut mem, &FlowKey::synthetic(id, 13)),
+                t.lookup(&mem, &FlowKey::synthetic(id, 13)),
                 Some(id),
                 "lost key {id}"
             );
@@ -522,7 +522,7 @@ mod tests {
             }
         }
         for (k, v) in &stored {
-            assert_eq!(t.lookup(&mut mem, k), Some(*v));
+            assert_eq!(t.lookup(&mem, k), Some(*v));
         }
         assert_eq!(t.len(), stored.len());
     }
@@ -532,7 +532,7 @@ mod tests {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
         t.insert(&mut mem, &k, 7).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k, false);
+        let tr = t.lookup_traced(&mem, &k, false);
         assert_eq!(tr.result, Some(7));
         assert!(matches!(tr.steps[0], TraceStep::LoadMeta(_)));
         assert!(tr.steps.contains(&TraceStep::Hash));
@@ -550,7 +550,7 @@ mod tests {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
         t.insert(&mut mem, &k, 7).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k, true);
+        let tr = t.lookup_traced(&mem, &k, true);
         let locks = tr
             .steps
             .iter()
@@ -561,8 +561,8 @@ mod tests {
 
     #[test]
     fn miss_trace_probes_both_buckets() {
-        let (mut mem, t) = setup(64);
-        let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(1, 13), false);
+        let (mem, t) = setup(64);
+        let tr = t.lookup_traced(&mem, &FlowKey::synthetic(1, 13), false);
         assert_eq!(tr.result, None);
         let buckets = tr
             .steps
@@ -579,10 +579,10 @@ mod tests {
         t.insert(&mut mem, &k, 7).unwrap();
         assert!(t.cuckoo_move(&mut mem, &k));
         // Still findable after relocation.
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         // And can be moved back.
         assert!(t.cuckoo_move(&mut mem, &k));
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
     }
 
     /// Regression: remove followed by re-insert of the same key must
@@ -607,7 +607,7 @@ mod tests {
         assert_eq!(t.free_slots(), free0, "free list leaked");
         assert_eq!(t.len() + t.free_slots(), t.capacity());
         for id in 0..100u64 {
-            assert_eq!(t.lookup(&mut mem, &FlowKey::synthetic(id, 13)), Some(id));
+            assert_eq!(t.lookup(&mem, &FlowKey::synthetic(id, 13)), Some(id));
         }
     }
 
@@ -632,10 +632,10 @@ mod tests {
         let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
         // Mid-move: duplicate entry pending, key still resolves.
         assert_eq!(t.moves_in_flight(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         t.cuckoo_move_commit(&mut mem, mv);
         assert_eq!(t.moves_in_flight(), 0);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         assert_eq!(t.len(), 1);
     }
 
@@ -647,11 +647,11 @@ mod tests {
         let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
         t.cuckoo_move_abort(&mut mem, mv);
         assert_eq!(t.moves_in_flight(), 0);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         assert_eq!(t.len(), 1);
         // A full one-shot move still works afterwards.
         assert!(t.cuckoo_move(&mut mem, &k));
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
     }
 
     #[test]
@@ -677,7 +677,7 @@ mod tests {
         let mut t = CuckooTable::create(&mut mem, 64, 64);
         let k = FlowKey::synthetic(9, 64);
         t.insert(&mut mem, &k, 123).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k, false);
+        let tr = t.lookup_traced(&mem, &k, false);
         assert_eq!(tr.result, Some(123));
         // 128-byte kv slots need two kv line loads.
         let kv_loads = tr

@@ -200,7 +200,7 @@ impl CuckooPlusPlusTable {
     /// primary bucket `b` and filter index `fi` currently stored in
     /// their secondary bucket (exposed for the invariant auditor).
     #[must_use]
-    pub fn filter_count(&self, mem: &mut SimMemory, b: u64, fi: usize) -> u8 {
+    pub fn filter_count(&self, mem: &SimMemory, b: u64, fi: usize) -> u8 {
         debug_assert!(fi < FILTER_SLOTS);
         mem.read_u8(self.meta.bucket_addr(b) + FILTER_OFF + fi as u64)
     }
@@ -323,7 +323,7 @@ impl CuckooPlusPlusTable {
 
     /// Functional lookup.
     #[must_use]
-    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    pub fn lookup(&self, mem: &SimMemory, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key, false).result
     }
 
@@ -337,7 +337,7 @@ impl CuckooPlusPlusTable {
     #[must_use]
     pub fn lookup_traced(
         &self,
-        mem: &mut SimMemory,
+        mem: &SimMemory,
         key: &FlowKey,
         software_locking: bool,
     ) -> LookupTrace {
@@ -351,7 +351,7 @@ impl CuckooPlusPlusTable {
         let (b1, b2) = bucket_pair(key, self.meta.buckets);
         let sig = signature(hash_key(key, SEED_PRIMARY));
 
-        let scan = |b: u64, steps: &mut Vec<TraceStep>, mem: &mut SimMemory| {
+        let scan = |b: u64, steps: &mut Vec<TraceStep>, mem: &SimMemory| {
             steps.push(TraceStep::LoadBucket(self.meta.bucket_addr(b)));
             steps.push(TraceStep::CompareSigs);
             for e in 0..ENTRIES_PER_BUCKET {
@@ -536,11 +536,11 @@ mod tests {
     fn insert_lookup_remove() {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         t.insert(&mut mem, &k, 99).unwrap();
-        assert_eq!(t.lookup(&mut mem, &k), Some(99));
+        assert_eq!(t.lookup(&mem, &k), Some(99));
         assert_eq!(t.remove(&mut mem, &k), Some(99));
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         assert!(t.is_empty());
     }
 
@@ -556,7 +556,7 @@ mod tests {
         // At 100/512 fill no bucket overflows, so every filter is empty
         // and every miss is a single probe.
         for id in 1000..1100u64 {
-            let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+            let tr = t.lookup_traced(&mem, &FlowKey::synthetic(id, 13), false);
             assert_eq!(tr.result, None);
             assert_eq!(bucket_loads(&tr), 1, "miss probed the secondary bucket");
         }
@@ -576,7 +576,7 @@ mod tests {
         // probe, and all remain findable.
         let mut second_probes = 0;
         for (i, k) in keys.iter().enumerate() {
-            let tr = t.lookup_traced(&mut mem, k, false);
+            let tr = t.lookup_traced(&mem, k, false);
             assert_eq!(tr.result, Some(i as u64), "lost key {i}");
             if bucket_loads(&tr) == 2 {
                 second_probes += 1;
@@ -604,12 +604,12 @@ mod tests {
         // removing the key must cool it again.
         for k in displaced {
             let fi = CuckooPlusPlusTable::filter_index(k);
-            assert!(t.filter_count(&mut mem, 7, fi) > 0, "filter never set");
+            assert!(t.filter_count(&mem, 7, fi) > 0, "filter never set");
             assert_eq!(t.remove(&mut mem, k), Some(2));
         }
         for fi in 0..FILTER_SLOTS {
             assert_eq!(
-                t.filter_count(&mut mem, 7, fi),
+                t.filter_count(&mem, 7, fi),
                 0,
                 "filter slot {fi} left hot after removes"
             );
@@ -620,7 +620,7 @@ mod tests {
             assert_eq!(t.remove(&mut mem, k), Some(3));
         }
         for k in displaced {
-            let tr = t.lookup_traced(&mut mem, k, false);
+            let tr = t.lookup_traced(&mem, k, false);
             assert_eq!(tr.result, None);
             assert_eq!(bucket_loads(&tr), 1, "negative lookup stayed double-probe");
         }
@@ -643,7 +643,7 @@ mod tests {
         assert!(stored.len() >= 960, "fill degraded: {}/1024", stored.len());
         for &id in &stored {
             assert_eq!(
-                t.lookup(&mut mem, &FlowKey::synthetic(id, 13)),
+                t.lookup(&mem, &FlowKey::synthetic(id, 13)),
                 Some(id),
                 "lost key {id}"
             );
@@ -654,7 +654,7 @@ mod tests {
         for b in 0..128u64 {
             for fi in 0..FILTER_SLOTS {
                 assert_eq!(
-                    t.filter_count(&mut mem, b, fi),
+                    t.filter_count(&mem, b, fi),
                     0,
                     "bucket {b} slot {fi} hot after draining the table"
                 );
@@ -669,18 +669,18 @@ mod tests {
         t.insert(&mut mem, &k, 7).unwrap();
         let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
         assert_eq!(t.moves_in_flight(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         t.cuckoo_move_commit(&mut mem, mv);
         assert_eq!(t.moves_in_flight(), 0);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         // The key now sits in its secondary bucket; the filter steers.
-        let tr = t.lookup_traced(&mut mem, &k, false);
+        let tr = t.lookup_traced(&mem, &k, false);
         assert_eq!(bucket_loads(&tr), 2);
         // Move back home: the filter must cool again.
         assert!(t.cuckoo_move(&mut mem, &k));
         let (b1, _) = bucket_pair(&k, 64);
         assert_eq!(
-            t.filter_count(&mut mem, b1, CuckooPlusPlusTable::filter_index(&k)),
+            t.filter_count(&mem, b1, CuckooPlusPlusTable::filter_index(&k)),
             0
         );
     }
@@ -694,23 +694,19 @@ mod tests {
         t.insert(&mut mem, &k, 7).unwrap();
         // Abort a primary->secondary move: filter returns to 0.
         let mv = t.cuckoo_move_begin(&mut mem, &k).expect("alt bucket free");
-        assert_eq!(t.filter_count(&mut mem, b1, fi), 1, "begin must register");
-        assert_eq!(t.lookup(&mut mem, &k), Some(7), "findable mid-move");
+        assert_eq!(t.filter_count(&mem, b1, fi), 1, "begin must register");
+        assert_eq!(t.lookup(&mem, &k), Some(7), "findable mid-move");
         t.cuckoo_move_abort(&mut mem, mv);
-        assert_eq!(t.filter_count(&mut mem, b1, fi), 0, "abort must reverse");
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.filter_count(&mem, b1, fi), 0, "abort must reverse");
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         // Abort a secondary->primary move: filter returns to 1.
         assert!(t.cuckoo_move(&mut mem, &k)); // now in secondary
         let mv = t.cuckoo_move_begin(&mut mem, &k).expect("home bucket free");
-        assert_eq!(t.filter_count(&mut mem, b1, fi), 0, "begin must deregister");
-        assert_eq!(t.lookup(&mut mem, &k), Some(7), "findable mid-move");
+        assert_eq!(t.filter_count(&mem, b1, fi), 0, "begin must deregister");
+        assert_eq!(t.lookup(&mem, &k), Some(7), "findable mid-move");
         t.cuckoo_move_abort(&mut mem, mv);
-        assert_eq!(
-            t.filter_count(&mut mem, b1, fi),
-            1,
-            "abort must re-register"
-        );
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.filter_count(&mem, b1, fi), 1, "abort must re-register");
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         assert_eq!(t.moves_in_flight(), 0);
     }
 
@@ -721,10 +717,10 @@ mod tests {
         t.insert(&mut mem, &k, 1).unwrap();
         t.insert(&mut mem, &k, 2).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(2));
+        assert_eq!(t.lookup(&mem, &k), Some(2));
         let (b1, _) = bucket_pair(&k, 64);
         assert_eq!(
-            t.filter_count(&mut mem, b1, CuckooPlusPlusTable::filter_index(&k)),
+            t.filter_count(&mem, b1, CuckooPlusPlusTable::filter_index(&k)),
             0
         );
     }
@@ -734,7 +730,7 @@ mod tests {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
         t.insert(&mut mem, &k, 7).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k, true);
+        let tr = t.lookup_traced(&mem, &k, true);
         let locks = tr
             .steps
             .iter()

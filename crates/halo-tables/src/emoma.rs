@@ -608,7 +608,7 @@ impl EmomaTable {
 
     /// Functional lookup.
     #[must_use]
-    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    pub fn lookup(&self, mem: &SimMemory, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key, false).result
     }
 
@@ -618,7 +618,7 @@ impl EmomaTable {
     #[must_use]
     pub fn lookup_traced(
         &self,
-        mem: &mut SimMemory,
+        mem: &SimMemory,
         key: &FlowKey,
         software_locking: bool,
     ) -> LookupTrace {
@@ -868,11 +868,11 @@ mod tests {
     fn insert_lookup_remove() {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         t.insert(&mut mem, &k, 99).unwrap();
-        assert_eq!(t.lookup(&mut mem, &k), Some(99));
+        assert_eq!(t.lookup(&mem, &k), Some(99));
         assert_eq!(t.remove(&mut mem, &k), Some(99));
-        assert_eq!(t.lookup(&mut mem, &k), None);
+        assert_eq!(t.lookup(&mem, &k), None);
         assert!(t.is_empty());
         check_filter_exact(&t, &mut mem);
     }
@@ -886,7 +886,7 @@ mod tests {
             t.insert(&mut mem, &FlowKey::synthetic(id, 13), id).unwrap();
         }
         for id in 0..400u64 {
-            let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+            let tr = t.lookup_traced(&mem, &FlowKey::synthetic(id, 13), false);
             assert_eq!(tr.result, Some(id), "lost key {id}");
             assert_eq!(
                 bucket_loads(&tr),
@@ -896,7 +896,7 @@ mod tests {
             );
         }
         for id in 1000..1200u64 {
-            let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+            let tr = t.lookup_traced(&mem, &FlowKey::synthetic(id, 13), false);
             assert_eq!(tr.result, None);
             assert_eq!(
                 bucket_loads(&tr),
@@ -915,7 +915,7 @@ mod tests {
         t.insert(&mut mem, &k, 1).unwrap();
         t.insert(&mut mem, &k, 2).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(2));
+        assert_eq!(t.lookup(&mem, &k), Some(2));
     }
 
     #[test]
@@ -932,7 +932,7 @@ mod tests {
         // reaches high occupancy and so must we.
         assert!(stored.len() >= 768, "fill degraded: {}/1024", stored.len());
         for &id in &stored {
-            let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+            let tr = t.lookup_traced(&mem, &FlowKey::synthetic(id, 13), false);
             assert_eq!(tr.result, Some(id), "lost key {id}");
             assert_eq!(bucket_loads(&tr), 1);
         }
@@ -951,12 +951,12 @@ mod tests {
                 stored.push((k, id));
             } else {
                 failures += 1;
-                assert_eq!(t.lookup(&mut mem, &k), None, "failed insert left the key");
+                assert_eq!(t.lookup(&mem, &k), None, "failed insert left the key");
             }
         }
         assert!(failures > 0, "tiny table never filled");
         for (k, v) in &stored {
-            assert_eq!(t.lookup(&mut mem, k), Some(*v));
+            assert_eq!(t.lookup(&mem, k), Some(*v));
         }
         assert_eq!(t.len(), stored.len());
         assert_eq!(t.len() + t.free_slots(), t.capacity());
@@ -985,7 +985,7 @@ mod tests {
                 // Force a displacement in whichever direction is open.
                 let (b1, _) = bp(&k, buckets);
                 let was_primary = {
-                    let tr = t.lookup_traced(&mut mem, &k, false);
+                    let tr = t.lookup_traced(&mem, &k, false);
                     match tr
                         .steps
                         .iter()
@@ -1010,7 +1010,7 @@ mod tests {
             }
             // Every key findable in one access, filter exact.
             for id in 0..n {
-                let tr = t.lookup_traced(&mut mem, &FlowKey::synthetic(id, 13), false);
+                let tr = t.lookup_traced(&mem, &FlowKey::synthetic(id, 13), false);
                 assert_eq!(tr.result, Some(id), "stranded key {id} round {round}");
                 assert_eq!(bucket_loads(&tr), 1);
             }
@@ -1037,12 +1037,12 @@ mod tests {
         t.insert(&mut mem, &k, 7).unwrap();
         let mv = t.move_begin(&mut mem, &k).expect("move possible");
         assert_eq!(t.moves_in_flight(), 1);
-        let tr = t.lookup_traced(&mut mem, &k, false);
+        let tr = t.lookup_traced(&mem, &k, false);
         assert_eq!(tr.result, Some(7), "mid-move lookup failed");
         assert_eq!(bucket_loads(&tr), 1, "mid-move lookup not single-access");
         t.move_commit(&mut mem, mv);
         assert_eq!(t.moves_in_flight(), 0);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         check_filter_exact(&t, &mut mem);
     }
 
@@ -1053,17 +1053,17 @@ mod tests {
         t.insert(&mut mem, &k, 7).unwrap();
         let before: Vec<u16> = t.cbf_counters().to_vec();
         let mv = t.move_begin(&mut mem, &k).expect("move possible");
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         t.move_abort(&mut mem, mv);
         assert_eq!(t.moves_in_flight(), 0);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         assert_eq!(t.cbf_counters(), &before[..], "abort did not restore CBF");
         check_filter_exact(&t, &mut mem);
         // Round trip: displace then move home then abort that too.
         assert!(t.displace(&mut mem, &k));
         let mv = t.move_begin(&mut mem, &k).expect("move home possible");
         t.move_abort(&mut mem, mv);
-        assert_eq!(t.lookup(&mut mem, &k), Some(7));
+        assert_eq!(t.lookup(&mem, &k), Some(7));
         check_filter_exact(&t, &mut mem);
     }
 
@@ -1072,7 +1072,7 @@ mod tests {
         let (mut mem, mut t) = setup(64);
         let k = FlowKey::synthetic(5, 13);
         t.insert(&mut mem, &k, 7).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k, true);
+        let tr = t.lookup_traced(&mem, &k, true);
         let locks = tr
             .steps
             .iter()

@@ -74,7 +74,7 @@ pub trait FlowTable: std::fmt::Debug {
 
     /// Functional lookup (no timing side effects beyond the traced
     /// probe's reads of simulated memory).
-    fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    fn lookup(&self, mem: &SimMemory, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key, false).result
     }
 
@@ -82,12 +82,7 @@ pub trait FlowTable: std::fmt::Debug {
     /// `software_locking`, backends that model optimistic locking add
     /// the version-counter reads a software implementation performs
     /// (§3.4); backends without a software lock ignore the flag.
-    fn lookup_traced(
-        &self,
-        mem: &mut SimMemory,
-        key: &FlowKey,
-        software_locking: bool,
-    ) -> LookupTrace;
+    fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey, software_locking: bool) -> LookupTrace;
 
     /// Addresses an ideal prefetcher would warm for this table. Empty
     /// for tables outside simulated memory.
@@ -126,12 +121,7 @@ impl FlowTable for CuckooTable {
         CuckooTable::remove(self, mem, key)
     }
 
-    fn lookup_traced(
-        &self,
-        mem: &mut SimMemory,
-        key: &FlowKey,
-        software_locking: bool,
-    ) -> LookupTrace {
+    fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey, software_locking: bool) -> LookupTrace {
         CuckooTable::lookup_traced(self, mem, key, software_locking)
     }
 
@@ -170,12 +160,7 @@ impl FlowTable for CuckooPlusPlusTable {
         CuckooPlusPlusTable::remove(self, mem, key)
     }
 
-    fn lookup_traced(
-        &self,
-        mem: &mut SimMemory,
-        key: &FlowKey,
-        software_locking: bool,
-    ) -> LookupTrace {
+    fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey, software_locking: bool) -> LookupTrace {
         CuckooPlusPlusTable::lookup_traced(self, mem, key, software_locking)
     }
 
@@ -214,12 +199,7 @@ impl FlowTable for EmomaTable {
         EmomaTable::remove(self, mem, key)
     }
 
-    fn lookup_traced(
-        &self,
-        mem: &mut SimMemory,
-        key: &FlowKey,
-        software_locking: bool,
-    ) -> LookupTrace {
+    fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey, software_locking: bool) -> LookupTrace {
         EmomaTable::lookup_traced(self, mem, key, software_locking)
     }
 
@@ -266,7 +246,7 @@ impl FlowTable for SfhTable {
     /// SFH models no optimistic lock, so `software_locking` is ignored.
     fn lookup_traced(
         &self,
-        mem: &mut SimMemory,
+        mem: &SimMemory,
         key: &FlowKey,
         _software_locking: bool,
     ) -> LookupTrace {
@@ -347,8 +327,8 @@ mod tests {
         let k = FlowKey::synthetic(9, 13);
         t.insert(&mut mem, &k, 1).unwrap();
         let dt: &dyn FlowTable = &t;
-        let with = dt.lookup_traced(&mut mem, &k, true);
-        let without = dt.lookup_traced(&mut mem, &k, false);
+        let with = dt.lookup_traced(&mem, &k, true);
+        let without = dt.lookup_traced(&mem, &k, false);
         assert_eq!(with.steps.len(), without.steps.len() + 2);
     }
 }

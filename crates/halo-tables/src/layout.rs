@@ -50,7 +50,7 @@ impl TableMeta {
 
     /// Deserializes from the metadata line at `addr`.
     #[must_use]
-    pub fn load(mem: &mut SimMemory, addr: Addr) -> TableMeta {
+    pub fn load(mem: &SimMemory, addr: Addr) -> TableMeta {
         TableMeta {
             buckets: mem.read_u64(addr),
             key_len: mem.read_u32(addr + 8),
@@ -96,7 +96,7 @@ impl TableMeta {
     /// Reads bucket entry `e` of bucket `b`: `(signature, kv index)`.
     /// A zero signature means the entry is empty.
     #[must_use]
-    pub fn read_entry(&self, mem: &mut SimMemory, b: u64, e: usize) -> (u16, u32) {
+    pub fn read_entry(&self, mem: &SimMemory, b: u64, e: usize) -> (u16, u32) {
         let (sa, ia) = self.entry_addrs(b, e);
         (mem.read_u16(sa), mem.read_u32(ia))
     }
@@ -123,7 +123,7 @@ impl TableMeta {
 
     /// Reads the key stored in slot `idx`.
     #[must_use]
-    pub fn read_kv_key(&self, mem: &mut SimMemory, idx: u32) -> FlowKey {
+    pub fn read_kv_key(&self, mem: &SimMemory, idx: u32) -> FlowKey {
         let a = self.kv_addr(idx);
         let mut buf = vec![0u8; self.key_len as usize];
         mem.read_bytes(a, &mut buf);
@@ -132,7 +132,7 @@ impl TableMeta {
 
     /// Reads the value stored in slot `idx`.
     #[must_use]
-    pub fn read_kv_value(&self, mem: &mut SimMemory, idx: u32) -> u64 {
+    pub fn read_kv_value(&self, mem: &SimMemory, idx: u32) -> u64 {
         mem.read_u64(self.kv_addr(idx) + (u64::from(self.kv_slot) - 16))
     }
 
@@ -189,7 +189,7 @@ mod tests {
     fn meta_roundtrip() {
         let mut mem = SimMemory::new();
         let (addr, meta) = allocate_table(&mut mem, 64, 13);
-        let back = TableMeta::load(&mut mem, addr);
+        let back = TableMeta::load(&mem, addr);
         assert_eq!(meta, back);
     }
 
@@ -208,9 +208,9 @@ mod tests {
         let mut mem = SimMemory::new();
         let (_, meta) = allocate_table(&mut mem, 8, 13);
         meta.write_entry(&mut mem, 3, 5, 0xBEEF, 42);
-        assert_eq!(meta.read_entry(&mut mem, 3, 5), (0xBEEF, 42));
+        assert_eq!(meta.read_entry(&mem, 3, 5), (0xBEEF, 42));
         meta.clear_entry(&mut mem, 3, 5);
-        assert_eq!(meta.read_entry(&mut mem, 3, 5), (0, 0));
+        assert_eq!(meta.read_entry(&mem, 3, 5), (0, 0));
     }
 
     #[test]
@@ -222,7 +222,7 @@ mod tests {
         }
         for e in 0..ENTRIES_PER_BUCKET {
             assert_eq!(
-                meta.read_entry(&mut mem, 0, e),
+                meta.read_entry(&mem, 0, e),
                 (100 + e as u16, 200 + e as u32)
             );
         }
@@ -234,8 +234,8 @@ mod tests {
         let (_, meta) = allocate_table(&mut mem, 8, 13);
         let k = FlowKey::synthetic(7, 13);
         meta.write_kv(&mut mem, 9, &k, 0xDEAD);
-        assert_eq!(meta.read_kv_key(&mut mem, 9), k);
-        assert_eq!(meta.read_kv_value(&mut mem, 9), 0xDEAD);
+        assert_eq!(meta.read_kv_key(&mem, 9), k);
+        assert_eq!(meta.read_kv_value(&mem, 9), 0xDEAD);
     }
 
     #[test]
@@ -245,8 +245,8 @@ mod tests {
         assert_eq!(meta.kv_slot, 128);
         let k = FlowKey::synthetic(1234, 64);
         meta.write_kv(&mut mem, 3, &k, 55);
-        assert_eq!(meta.read_kv_key(&mut mem, 3), k);
-        assert_eq!(meta.read_kv_value(&mut mem, 3), 55);
+        assert_eq!(meta.read_kv_key(&mem, 3), k);
+        assert_eq!(meta.read_kv_value(&mem, 3), 55);
     }
 
     #[test]

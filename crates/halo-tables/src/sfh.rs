@@ -165,13 +165,13 @@ impl SfhTable {
 
     /// Functional lookup.
     #[must_use]
-    pub fn lookup(&self, mem: &mut SimMemory, key: &FlowKey) -> Option<u64> {
+    pub fn lookup(&self, mem: &SimMemory, key: &FlowKey) -> Option<u64> {
         self.lookup_traced(mem, key).result
     }
 
     /// Lookup with the recorded access trace.
     #[must_use]
-    pub fn lookup_traced(&self, mem: &mut SimMemory, key: &FlowKey) -> LookupTrace {
+    pub fn lookup_traced(&self, mem: &SimMemory, key: &FlowKey) -> LookupTrace {
         assert_eq!(key.len(), self.meta.key_len as usize);
         let mut steps = vec![TraceStep::LoadMeta(self.meta_addr), TraceStep::Hash];
         let b = self.bucket_of(key);
@@ -218,8 +218,8 @@ mod tests {
         let mut t = SfhTable::create(&mut mem, 64, 13);
         let k = FlowKey::synthetic(1, 13);
         t.insert(&mut mem, &k, 10).unwrap();
-        assert_eq!(t.lookup(&mut mem, &k), Some(10));
-        assert_eq!(t.lookup(&mut mem, &FlowKey::synthetic(2, 13)), None);
+        assert_eq!(t.lookup(&mem, &k), Some(10));
+        assert_eq!(t.lookup(&mem, &FlowKey::synthetic(2, 13)), None);
     }
 
     #[test]
@@ -230,7 +230,7 @@ mod tests {
         t.insert(&mut mem, &k, 10).unwrap();
         t.insert(&mut mem, &k, 20).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&mut mem, &k), Some(20));
+        assert_eq!(t.lookup(&mem, &k), Some(20));
     }
 
     #[test]
@@ -270,7 +270,7 @@ mod tests {
         let mut t = SfhTable::create(&mut mem, 64, 13);
         let k = FlowKey::synthetic(1, 13);
         t.insert(&mut mem, &k, 10).unwrap();
-        let tr = t.lookup_traced(&mut mem, &k);
+        let tr = t.lookup_traced(&mem, &k);
         let buckets = tr
             .steps
             .iter()

@@ -272,7 +272,7 @@ impl halo_tables::FlowTable for TcamTable {
 
     fn lookup_traced(
         &self,
-        _mem: &mut halo_mem::SimMemory,
+        _mem: &halo_mem::SimMemory,
         key: &halo_tables::FlowKey,
         _software_locking: bool,
     ) -> halo_tables::LookupTrace {

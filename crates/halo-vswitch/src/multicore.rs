@@ -20,7 +20,7 @@ use halo_classify::{
 use halo_datapath::{
     DatapathCore, ExactTable, LookupExecutor, NbRegion, TableBackend, TrafficEvent,
 };
-use halo_mem::{CoreId, MemorySystem, CACHE_LINE};
+use halo_mem::{CoreId, EpochCore, MemorySystem, WindowOutcome, CACHE_LINE};
 use halo_sim::{Cycle, SplitMix64};
 use halo_tables::{hash_key, SEED_PRIMARY};
 
@@ -147,10 +147,59 @@ pub struct ScalingReport {
 // shared handles; this assertion keeps it that way.
 const _: () = {
     const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
     assert_send::<MultiCoreDatapath>();
     assert_send::<ScalingReport>();
     assert_send::<StreamReport>();
+    // The parallel epoch runner additionally shares the datapath's
+    // tuple space immutably across worker threads and moves per-core
+    // window jobs onto them, so the datapath must also be `Sync` and
+    // the jobs `Send`.
+    assert_sync::<MultiCoreDatapath>();
+    assert_sync::<ScalingReport>();
+    assert_sync::<StreamReport>();
+    assert_send::<WindowJob<'static>>();
 };
+
+/// Packets per epoch window when nothing else bounds one sooner (a
+/// churn point or a control-plane event). Any fixed value yields the
+/// same observable results at every thread count; this one bounds the
+/// per-window event-log memory while keeping barrier overhead small.
+const WINDOW_PKTS: usize = 1024;
+
+/// One core's work for one epoch window: its memory-system shard, its
+/// PMD state, and the flows RSS assigned to it this window.
+struct WindowJob<'a> {
+    shard: EpochCore<'a>,
+    pmd: &'a mut PmdThread,
+    flows: Vec<u64>,
+}
+
+/// Runs one core's window to completion: every packet classified
+/// against the core's private shard, clock and counters advancing
+/// locally. Pure in the shared state — identical inputs give identical
+/// outcomes no matter which OS thread evaluates it. Returns the
+/// outcome to merge plus how many packets matched.
+fn exec_window(job: WindowJob<'_>, megaflow: &TupleSpace<ExactTable>) -> (WindowOutcome, u64) {
+    let WindowJob {
+        mut shard,
+        pmd,
+        flows,
+    } = job;
+    let mut matched = 0u64;
+    for &flow in &flows {
+        let key = PacketHeader::synthetic(flow).miniflow();
+        pmd.packets += 1;
+        let out = pmd
+            .dp
+            .classify_epoch(&mut shard, megaflow, &key, None, pmd.clock);
+        pmd.clock = out.done;
+        if out.action.is_some() {
+            matched += 1;
+        }
+    }
+    (shard.finish(), matched)
+}
 
 impl MultiCoreDatapath {
     /// Builds a datapath with `cores` PMD threads over `tuples` shared
@@ -429,6 +478,288 @@ impl MultiCoreDatapath {
     #[must_use]
     pub fn per_core_packets(&self) -> Vec<u64> {
         self.pmds.iter().map(|p| p.packets).collect()
+    }
+
+    /// Preconditions of the epoch-parallel runners. HALO engines and
+    /// span tracing both mutate state shared across cores mid-window,
+    /// so parallel execution is software-only and untraced; callers
+    /// needing either stay on the classic [`run`](Self::run) /
+    /// [`run_stream`](Self::run_stream) paths.
+    fn assert_epoch_capable(&self, sys: &MemorySystem) {
+        assert!(
+            !sys.trace_enabled(),
+            "epoch-parallel runs cannot record spans; disable tracing"
+        );
+        for pmd in &self.pmds {
+            assert_eq!(
+                pmd.dp.exec().backend(),
+                LookupBackend::Software,
+                "epoch-parallel execution is software-only"
+            );
+        }
+    }
+
+    /// Executes one epoch window: splits the memory system into
+    /// per-core shards, runs every PMD's packet share (on `threads` OS
+    /// threads when more than one), and merges the outcomes back in
+    /// fixed core order. Returns how many packets matched.
+    ///
+    /// Worker assignment is pure scheduling: each job reads only the
+    /// frozen master snapshot and its own private state, and the merge
+    /// is single-threaded in ascending core order, so the post-merge
+    /// state is byte-identical at every `threads` value.
+    fn run_window(
+        pmds: &mut [PmdThread],
+        megaflow: &TupleSpace<ExactTable>,
+        sys: &mut MemorySystem,
+        batch: &[(u64, usize)],
+        threads: usize,
+    ) -> u64 {
+        let cores = pmds.len();
+        let mut per_core: Vec<Vec<u64>> = vec![Vec::new(); cores];
+        for &(flow, p) in batch {
+            per_core[p].push(flow);
+        }
+        let shards = sys.epoch_split(cores);
+        let mut jobs: Vec<WindowJob> = shards
+            .into_iter()
+            .zip(pmds.iter_mut())
+            .zip(per_core)
+            .map(|((shard, pmd), flows)| WindowJob { shard, pmd, flows })
+            .collect();
+        let mut outcomes = Vec::with_capacity(cores);
+        let mut matched = 0u64;
+        if threads <= 1 {
+            for job in jobs {
+                let (o, m) = exec_window(job, megaflow);
+                outcomes.push(o);
+                matched += m;
+            }
+        } else {
+            let per = jobs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                while !jobs.is_empty() {
+                    let take = per.min(jobs.len());
+                    let bucket: Vec<WindowJob> = jobs.drain(..take).collect();
+                    handles.push(s.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|j| exec_window(j, megaflow))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    for (o, m) in h.join().expect("window worker panicked") {
+                        outcomes.push(o);
+                        matched += m;
+                    }
+                }
+            });
+        }
+        sys.epoch_merge(outcomes);
+        matched
+    }
+
+    /// [`run`](Self::run)'s workload under the epoch-parallel executor:
+    /// the same RSS packet schedule and revalidator churn, with packets
+    /// executed in bounded windows on `threads` OS threads. Windows
+    /// break exactly at churn points, so every revalidator store is
+    /// applied between windows against the merged master state.
+    ///
+    /// The result is byte-identical for every `threads` value
+    /// (`threads = 1` runs the same windows inline); it is its own
+    /// deterministic interleaving, not required to match the classic
+    /// per-packet interleaving of [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a HALO backend is configured or tracing is enabled —
+    /// see [`run`](Self::run) for those.
+    pub fn run_parallel(
+        &mut self,
+        sys: &mut MemorySystem,
+        packets: u64,
+        churn_every: u64,
+        threads: usize,
+    ) -> ScalingReport {
+        self.run_parallel_with(sys, packets, churn_every, threads, &mut |_| {})
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with a barrier hook: after
+    /// every window merge the hook observes the master system in a
+    /// fully consistent state (no window in flight), where invariant
+    /// auditors can run.
+    pub fn run_parallel_with(
+        &mut self,
+        sys: &mut MemorySystem,
+        packets: u64,
+        churn_every: u64,
+        threads: usize,
+        barrier_hook: &mut dyn FnMut(&MemorySystem),
+    ) -> ScalingReport {
+        self.assert_epoch_capable(sys);
+        let dirty_before = sys.stats().counter("llc.dirty_snoop");
+        // The same RSS draws as `run`, precomputed so that window
+        // partitioning cannot perturb the flow sequence (and the RNG
+        // ends in the same state).
+        let schedule: Vec<(u64, usize)> = (0..packets)
+            .map(|_| {
+                let flow = self.rng.below(self.flows);
+                let p = (hash_key(&PacketHeader::synthetic(flow).miniflow(), SEED_PRIMARY)
+                    % self.pmds.len() as u64) as usize;
+                (flow, p)
+            })
+            .collect();
+        let mut i = 0usize;
+        while i < schedule.len() {
+            if churn_every > 0 && (i as u64).is_multiple_of(churn_every) {
+                // The same revalidator stores `run` issues before
+                // packet i, at the merged clock of packet i's PMD.
+                let p = schedule[i].1;
+                let wcore = CoreId(sys.config().cores - 1);
+                for ti in 0..self.megaflow.tuples().len() {
+                    let va = self.megaflow.tuples()[ti].table().version_addr();
+                    let at = self.pmds[p].clock;
+                    sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                }
+            }
+            let mut end = (i + WINDOW_PKTS).min(schedule.len());
+            if let Some(chunk) = (i as u64).checked_div(churn_every) {
+                let next_churn = (chunk + 1) * churn_every;
+                end = end.min(next_churn as usize);
+            }
+            Self::run_window(
+                &mut self.pmds,
+                &self.megaflow,
+                sys,
+                &schedule[i..end],
+                threads,
+            );
+            barrier_hook(sys);
+            i = end;
+        }
+        let cycles = self
+            .pmds
+            .iter()
+            .map(|p| p.clock.0)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        ScalingReport {
+            cores: self.pmds.len(),
+            packets,
+            cycles,
+            throughput_per_kcy: 1000.0 * packets as f64 / cycles as f64,
+            dirty_transfers: sys.stats().counter("llc.dirty_snoop") - dirty_before,
+        }
+    }
+
+    /// Flushes the pending packet window of a streaming parallel run.
+    fn flush_stream_window(
+        &mut self,
+        sys: &mut MemorySystem,
+        batch: &mut Vec<(u64, usize)>,
+        threads: usize,
+        r: &mut StreamReport,
+        barrier_hook: &mut dyn FnMut(&MemorySystem),
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let matched = Self::run_window(&mut self.pmds, &self.megaflow, sys, batch, threads);
+        barrier_hook(sys);
+        r.packets += batch.len() as u64;
+        r.misses += batch.len() as u64 - matched;
+        batch.clear();
+    }
+
+    /// [`run_stream`](Self::run_stream)'s workload under the
+    /// epoch-parallel executor: maximal runs of packet events execute
+    /// as bounded windows on `threads` OS threads; every control-plane
+    /// event (arrival, expiry) is applied between windows against the
+    /// merged master state, exactly as the classic path applies it.
+    /// Byte-identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a HALO backend is configured or tracing is enabled.
+    pub fn run_stream_parallel(
+        &mut self,
+        sys: &mut MemorySystem,
+        events: impl IntoIterator<Item = TrafficEvent>,
+        threads: usize,
+    ) -> StreamReport {
+        self.run_stream_parallel_with(sys, events, threads, &mut |_| {})
+    }
+
+    /// [`run_stream_parallel`](Self::run_stream_parallel) with a
+    /// barrier hook, called after every window merge on the consistent
+    /// master state.
+    pub fn run_stream_parallel_with(
+        &mut self,
+        sys: &mut MemorySystem,
+        events: impl IntoIterator<Item = TrafficEvent>,
+        threads: usize,
+        barrier_hook: &mut dyn FnMut(&MemorySystem),
+    ) -> StreamReport {
+        self.assert_epoch_capable(sys);
+        let dirty_before = sys.stats().counter("llc.dirty_snoop");
+        let mut r = StreamReport {
+            cores: self.pmds.len(),
+            ..StreamReport::default()
+        };
+        let mut batch: Vec<(u64, usize)> = Vec::with_capacity(WINDOW_PKTS);
+        for ev in events {
+            match ev {
+                TrafficEvent::Packet(flow) => {
+                    let p = (hash_key(&PacketHeader::synthetic(flow).miniflow(), SEED_PRIMARY)
+                        % self.pmds.len() as u64) as usize;
+                    batch.push((flow, p));
+                    if batch.len() >= WINDOW_PKTS {
+                        self.flush_stream_window(sys, &mut batch, threads, &mut r, barrier_hook);
+                    }
+                }
+                TrafficEvent::Arrival(flow) => {
+                    self.flush_stream_window(sys, &mut batch, threads, &mut r, barrier_hook);
+                    let key = PacketHeader::synthetic(flow).miniflow();
+                    let ti = self.tuple_of(flow);
+                    let at = self.front();
+                    if self
+                        .megaflow
+                        .insert_rule(sys.data_mut(), ti, &key, 0, flow)
+                        .is_err()
+                    {
+                        r.rejected_installs += 1;
+                    }
+                    self.revalidate(sys, ti, at);
+                    r.arrivals += 1;
+                }
+                TrafficEvent::Expiry(flow) => {
+                    self.flush_stream_window(sys, &mut batch, threads, &mut r, barrier_hook);
+                    let key = PacketHeader::synthetic(flow).miniflow();
+                    let ti = self.tuple_of(flow);
+                    let at = self.front();
+                    self.megaflow.remove_rule(sys.data_mut(), ti, &key);
+                    for pmd in &mut self.pmds {
+                        pmd.dp.invalidate(sys.data_mut(), &key);
+                    }
+                    self.revalidate(sys, ti, at);
+                    r.expiries += 1;
+                }
+            }
+        }
+        self.flush_stream_window(sys, &mut batch, threads, &mut r, barrier_hook);
+        r.cycles = self
+            .pmds
+            .iter()
+            .map(|p| p.clock.0)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        r.throughput_per_kcy = 1000.0 * r.packets as f64 / r.cycles as f64;
+        r.dirty_transfers = sys.stats().counter("llc.dirty_snoop") - dirty_before;
+        r
     }
 }
 

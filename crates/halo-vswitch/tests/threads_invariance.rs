@@ -1,0 +1,136 @@
+//! Threads-invariance of the epoch-parallel runners: `threads = 1` and
+//! `threads = N` must produce byte-identical reports, per-core packet
+//! counts, and master stats — the whole point of the deterministic
+//! epoch/barrier scheme. The quick checks here always run; the full
+//! backend × stream matrix runs under the `slow-tests` feature (the
+//! deep CI job).
+
+use halo_datapath::{TableBackend, TrafficEvent};
+use halo_mem::{MachineConfig, MemorySystem};
+use halo_nf::{StreamConfig, StreamingTrafficGen};
+use halo_vswitch::{LookupBackend, MultiCoreConfig, MultiCoreDatapath};
+
+/// Every stats counter, sorted by name — a deterministic fingerprint of
+/// the master system's observable counter state.
+fn stats_fingerprint(sys: &MemorySystem) -> String {
+    let mut rows: Vec<(String, u64)> = sys
+        .stats()
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    rows.sort();
+    format!("{rows:?}")
+}
+
+fn datapath(table_backend: TableBackend, cores: usize) -> (MemorySystem, MultiCoreDatapath) {
+    let mut sys = MemorySystem::new(MachineConfig::default());
+    let mut cfg = MultiCoreConfig::new(cores, 5, 2_000, LookupBackend::Software, 42);
+    cfg.table_backend = table_backend;
+    let dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+    (sys, dp)
+}
+
+/// Runs the RSS/churn workload and returns every observable output as
+/// one comparable string.
+fn scaling_outcome(table_backend: TableBackend, threads: usize, churn: u64) -> String {
+    let (mut sys, mut dp) = datapath(table_backend, 4);
+    let r = dp.run_parallel(&mut sys, 600, churn, threads);
+    format!(
+        "{r:?} | {:?} | {}",
+        dp.per_core_packets(),
+        stats_fingerprint(&sys)
+    )
+}
+
+/// Runs a streaming workload and returns every observable output as
+/// one comparable string.
+fn stream_outcome(table_backend: TableBackend, threads: usize, cfg: StreamConfig) -> String {
+    let (mut sys, mut dp) = datapath(table_backend, 4);
+    let mut traffic = StreamingTrafficGen::new(cfg, 7);
+    let events: Vec<TrafficEvent> = (0..800).map(|_| traffic.next_event()).collect();
+    let r = dp.run_stream_parallel(&mut sys, events, threads);
+    format!(
+        "{r:?} | {:?} | {}",
+        dp.per_core_packets(),
+        stats_fingerprint(&sys)
+    )
+}
+
+#[test]
+fn scaling_run_is_threads_invariant() {
+    let one = scaling_outcome(TableBackend::Cuckoo, 1, 50);
+    for threads in [2, 4] {
+        assert_eq!(
+            one,
+            scaling_outcome(TableBackend::Cuckoo, threads, 50),
+            "threads=1 vs threads={threads} diverged"
+        );
+    }
+}
+
+#[test]
+fn churn_stream_is_threads_invariant() {
+    let one = stream_outcome(TableBackend::Cuckoo, 1, StreamConfig::churn(2_000));
+    let four = stream_outcome(TableBackend::Cuckoo, 4, StreamConfig::churn(2_000));
+    assert_eq!(one, four);
+}
+
+#[test]
+fn flood_stream_is_threads_invariant() {
+    let one = stream_outcome(TableBackend::Cuckoo, 1, StreamConfig::ddos_flood(2_000));
+    let four = stream_outcome(TableBackend::Cuckoo, 4, StreamConfig::ddos_flood(2_000));
+    assert_eq!(one, four);
+}
+
+/// At every window barrier the master system must satisfy all of
+/// halo-check's memory-system invariants (placement, inclusion,
+/// directory, single-owner, lock hygiene) — the merged state is a real
+/// coherent state, not just a matching byte pattern.
+#[test]
+fn barriers_leave_master_state_audit_clean() {
+    use halo_sim::Cycle;
+    let (mut sys, mut dp) = datapath(TableBackend::Cuckoo, 4);
+    let mut barriers = 0u64;
+    let mut hook = |s: &MemorySystem| {
+        let violations = halo_check::audit_system(s, Cycle(0));
+        assert!(
+            violations.is_empty(),
+            "barrier audit failed: {violations:?}"
+        );
+        barriers += 1;
+    };
+    dp.run_parallel_with(&mut sys, 600, 50, 4, &mut hook);
+    assert!(barriers >= 12, "expected a barrier per churn window");
+}
+
+/// The full differential matrix: every exact-match backend, both churn
+/// and flood streams plus the RSS/churn workload, threads 1 vs 2 vs 4.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn all_backends_and_streams_are_threads_invariant() {
+    for backend in TableBackend::all() {
+        let base = scaling_outcome(backend, 1, 25);
+        for threads in [2, 4] {
+            assert_eq!(
+                base,
+                scaling_outcome(backend, threads, 25),
+                "{} scaling run diverged at threads={threads}",
+                backend.name()
+            );
+        }
+        for (label, cfg) in [
+            ("churn", StreamConfig::churn(2_000)),
+            ("flood", StreamConfig::ddos_flood(2_000)),
+        ] {
+            let one = stream_outcome(backend, 1, cfg);
+            for threads in [2, 4] {
+                assert_eq!(
+                    one,
+                    stream_outcome(backend, threads, cfg),
+                    "{} {label} stream diverged at threads={threads}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}

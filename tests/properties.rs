@@ -76,13 +76,13 @@ fn cuckoo_matches_hashmap_model() {
                 }
                 TableOp::Lookup(k) => {
                     let key = FlowKey::synthetic(u64::from(k), 13);
-                    assert_eq!(table.lookup(&mut mem, &key), model.get(&k).copied());
+                    assert_eq!(table.lookup(&mem, &key), model.get(&k).copied());
                 }
                 TableOp::Move(k) => {
                     let key = FlowKey::synthetic(u64::from(k), 13);
                     table.cuckoo_move(&mut mem, &key);
                     // A move must never change lookup results.
-                    assert_eq!(table.lookup(&mut mem, &key), model.get(&k).copied());
+                    assert_eq!(table.lookup(&mem, &key), model.get(&k).copied());
                 }
             }
             assert_eq!(table.len(), model.len());
@@ -106,7 +106,7 @@ fn cuckoo_high_occupancy_no_loss() {
             }
         }
         for (key, id) in &accepted {
-            assert_eq!(table.lookup(&mut mem, key), Some(*id));
+            assert_eq!(table.lookup(&mem, key), Some(*id));
         }
     }
 }
@@ -125,7 +125,7 @@ fn sfh_agrees_with_cuckoo() {
             let c = cuckoo.insert(&mut mem, &key, id).is_ok();
             let s = sfh.insert(&mut mem, &key, id).is_ok();
             if c && s {
-                assert_eq!(cuckoo.lookup(&mut mem, &key), sfh.lookup(&mut mem, &key));
+                assert_eq!(cuckoo.lookup(&mem, &key), sfh.lookup(&mem, &key));
             }
         }
     }
@@ -155,10 +155,7 @@ fn tss_equals_linear_oracle() {
         }
         for &flow in &probes {
             let key = PacketHeader::synthetic(flow).miniflow();
-            assert_eq!(
-                tss.classify(&mut mem, &key),
-                tss.classify_linear(&mut mem, &key)
-            );
+            assert_eq!(tss.classify(&mem, &key), tss.classify_linear(&mem, &key));
         }
     }
 }
