@@ -1,7 +1,7 @@
 //! Regenerates the HALO paper's tables and figures.
 //!
 //! ```text
-//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|scale|ablation|ablation-backends|bench-sweep|bench-hotpath|bench-parallel|trace|all]
+//! figures [--full] [--quick] [--jobs N] [fig3|fig4|table1|fig8b|fig9|fig10|fig11|fig12|table4|fig13|scale|ablation|ablation-backends|ablation-wildcard|bench-sweep|bench-hotpath|bench-parallel|trace|all]
 //! ```
 //!
 //! By default experiments run in "quick" mode (reduced sweep sizes,
@@ -63,7 +63,7 @@ fn main() {
         // before any sweep spawns (single-threaded here, hence safe).
         std::env::set_var(halo_sim::JOBS_ENV, n.max(1).to_string());
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "bench-hotpath",
         "bench-parallel",
         "trace",
@@ -81,6 +81,7 @@ fn main() {
         "scaling",
         "scale",
         "ablation-backends",
+        "ablation-wildcard",
         "extensions",
         "bench-sweep",
     ];
@@ -295,6 +296,13 @@ fn main() {
         println!("{}", ex::ablation_backends::table(&cells));
         let json = ex::ablation_backends::to_json(&cells, quick);
         std::fs::write("ABLATION_backends.json", &json).expect("write ABLATION_backends.json");
+    }
+    if want("ablation-wildcard") {
+        let cells = ex::ablation_wildcard::run(quick);
+        println!("## Ablation — wildcard backend x ruleset shape x lookup strategy\n");
+        println!("{}", ex::ablation_wildcard::table(&cells));
+        let json = ex::ablation_wildcard::to_json(&cells, quick);
+        std::fs::write("ABLATION_wildcard.json", &json).expect("write ABLATION_wildcard.json");
     }
     if want("extensions") {
         println!(

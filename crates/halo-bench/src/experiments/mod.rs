@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod ablation_backends;
+pub mod ablation_wildcard;
 pub mod extensions;
 pub mod fig10;
 pub mod fig11;

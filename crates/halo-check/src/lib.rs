@@ -18,7 +18,11 @@
 //!   ([`run_churn_differential`]) replays the streaming traffic
 //!   engine's arrival/expiry stream — the insert/remove pressure a
 //!   real datapath sees — against the same oracle on every exact-match
-//!   backend, auditing invariants every [`AUDIT_EPOCH`] ops.
+//!   backend, auditing invariants every [`AUDIT_EPOCH`] ops. The
+//!   wildcard variant ([`run_wildcard_differential`]) replays
+//!   range-rule churn and classification streams against a linear-scan
+//!   [`RangeOracle`] on every wildcard backend (TSS expansion and
+//!   RVH), comparing `(priority, action)` winners.
 //! * **Invariant auditor** ([`audit_system`], [`audit_cuckoo`],
 //!   [`audit_table_placement`]) — walks
 //!   [`MemorySystem`](halo_mem::MemorySystem)/cache state and the table
@@ -53,6 +57,7 @@ mod churn;
 mod fault;
 mod oracle;
 mod shrink;
+mod wildcard;
 
 pub use audit::{
     audit_cuckoo, audit_cuckoo_pp, audit_emoma, audit_system, audit_table_placement, Violation,
@@ -64,6 +69,9 @@ pub use oracle::{
     flow_table_driver, gen_ops, kvstore_driver, sfh_driver, tcam_driver, Op, KEY_LEN,
 };
 pub use shrink::{run_differential, shrink_ops, MinimalTrace};
+pub use wildcard::{
+    run_wildcard_differential, wildcard_driver, wildcard_ops, RangeOracle, WildcardOp,
+};
 
 /// Whether per-op invariant auditing is active inside the harnesses:
 /// compiled in with the `audit` cargo feature, or switched on at runtime

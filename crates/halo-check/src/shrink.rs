@@ -10,19 +10,21 @@ use crate::oracle::{gen_ops, Op};
 use halo_sim::{point_seed, SplitMix64};
 use std::fmt;
 
-/// A shrunken, replayable counterexample from [`run_differential`].
+/// A shrunken, replayable counterexample from [`run_differential`]
+/// (exact-match [`Op`] streams by default; the wildcard differential
+/// instantiates it over [`WildcardOp`](crate::WildcardOp)).
 #[derive(Debug, Clone)]
-pub struct MinimalTrace {
+pub struct MinimalTrace<O = Op> {
     /// The SplitMix64 seed whose generated stream first failed (from
     /// [`point_seed`] over the suite name and case index).
     pub seed: u64,
     /// The minimal op subsequence that still reproduces the failure.
-    pub ops: Vec<Op>,
+    pub ops: Vec<O>,
     /// The driver's divergence message on the minimal sequence.
     pub error: String,
 }
 
-impl fmt::Display for MinimalTrace {
+impl<O: fmt::Display> fmt::Display for MinimalTrace<O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -41,7 +43,9 @@ impl fmt::Display for MinimalTrace {
 /// still returns a divergence, using ddmin-style chunk removal: try
 /// deleting chunks of half the current length, halving the chunk size
 /// on each full pass until single-op removal reaches a fixpoint.
-/// Returns the minimal ops and the error they produce.
+/// Returns the minimal ops and the error they produce. Generic in the
+/// op type so every driver vocabulary (exact-match [`Op`], wildcard
+/// [`WildcardOp`](crate::WildcardOp)) shrinks the same way.
 ///
 /// `fails` must be deterministic (every driver rebuilds its state from
 /// scratch); it is called O(n log n) times for an n-op sequence.
@@ -49,7 +53,10 @@ impl fmt::Display for MinimalTrace {
 /// # Panics
 ///
 /// Panics if `fails(ops)` does not fail to begin with.
-pub fn shrink_ops(ops: &[Op], mut fails: impl FnMut(&[Op]) -> Option<String>) -> (Vec<Op>, String) {
+pub fn shrink_ops<O: Clone>(
+    ops: &[O],
+    mut fails: impl FnMut(&[O]) -> Option<String>,
+) -> (Vec<O>, String) {
     let mut cur = ops.to_vec();
     let mut err = fails(&cur).expect("shrink_ops needs a failing sequence");
     let mut chunk = (cur.len() / 2).max(1);

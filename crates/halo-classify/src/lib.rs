@@ -40,10 +40,19 @@ mod dtree;
 mod emc;
 mod mask;
 mod packet;
+mod range;
+mod rvh;
 mod tss;
 
 pub use dtree::DecisionTree;
 pub use emc::{Emc, EMC_DEFAULT_ENTRIES, EMC_WAYS};
 pub use mask::{distinct_masks, WildcardMask};
 pub use packet::{PacketHeader, MINIFLOW_LEN};
-pub use tss::{decode_rule, encode_rule, RuleMatch, SearchMode, Tuple, TupleSpace};
+pub use range::{
+    prefix_decompose, FieldRange, FieldSpec, PrefixRule, RangeRule, FIELDS, NUM_FIELDS,
+};
+pub use rvh::{RvhTable, RVH_VECTORS};
+pub use tss::{
+    decode_rule, encode_rule, try_encode_rule, ActionRangeError, RuleError, RuleMatch, SearchMode,
+    Tuple, TupleSpace,
+};

@@ -1,0 +1,514 @@
+//! Range-vector hashing: hash-probe wildcard classification that stays
+//! cheap on range-heavy rulesets (after RVH, arXiv:1909.07159).
+//!
+//! Tuple space search needs one hash probe *per distinct mask*, and a
+//! range rule expands into many masks (`RangeRule::tss_expansion`), so
+//! ACL-style rulesets degrade to dozens of probes per packet. RVH
+//! instead partitions the miniflow fields into a small fixed set of
+//! *vectors*. A rule is anchored at the first vector whose fields it
+//! pins exactly; the anchored fields hash into that vector's *marker
+//! table* (an ordinary cuckoo table mapping vector-key → candidate
+//! list), and the rule's remaining fields are range-checked only for
+//! the few candidates the marker yields. A classification therefore
+//! probes exactly [`RVH_VECTORS`] marker buckets — independent of how
+//! many masks or ranges the ruleset uses — plus one key-value line per
+//! surviving candidate.
+//!
+//! Rules that pin no vector exactly (ranges on every field group) fall
+//! into the final *residual* vector, whose marker key is empty: its
+//! candidate list is scanned linearly, preserving correctness at the
+//! cost of that list's length. Real ACLs pin at least the protocol
+//! byte, so the residual stays short.
+//!
+//! Matches are resolved on (priority desc, insertion-sequence asc), the
+//! same deterministic contract the tuple space pins, so differential
+//! drivers can compare backends on rulesets with unique priorities.
+
+use crate::mask::WildcardMask;
+use crate::packet::MINIFLOW_LEN;
+use crate::range::{FieldRange, RangeRule, FIELDS, NUM_FIELDS};
+use crate::tss::{try_encode_rule, RuleError, RuleMatch};
+use halo_mem::{Addr, SimMemory, CACHE_LINE};
+use halo_tables::{CuckooTable, FlowKey, LookupTrace, TraceStep};
+
+/// Number of hash vectors (probes per classification).
+pub const RVH_VECTORS: usize = 4;
+
+/// Field groups per vector, indexed into [`FIELDS`]. The last group is
+/// empty: the residual vector for rules exact in no complete group.
+const VECTOR_FIELDS: [&[usize]; RVH_VECTORS] = [
+    &[0, 1],    // src_ip, dst_ip
+    &[2, 3],    // src_port, dst_port
+    &[4, 5, 6], // proto, in_port, vlan
+    &[],        // residual
+];
+
+/// A rule slot: the rule plus its insertion sequence (tie-break key).
+#[derive(Debug, Clone, Copy)]
+struct StoredRule {
+    rule: RangeRule,
+    seq: u64,
+}
+
+/// One hash vector: the byte mask selecting its fields, the marker
+/// table, and the candidate lists markers point into.
+#[derive(Debug)]
+struct RvhVector {
+    fields: &'static [usize],
+    mask: WildcardMask,
+    table: CuckooTable,
+    /// `lists[marker_value]` = indices into `RvhTable::rules`.
+    lists: Vec<Vec<usize>>,
+    free_lists: Vec<usize>,
+}
+
+impl RvhVector {
+    fn new(mem: &mut SimMemory, fields: &'static [usize], rule_capacity: usize) -> Self {
+        let mut bytes = [0u8; 16];
+        for &fi in fields {
+            let f = FIELDS[fi];
+            for b in &mut bytes[f.offset..f.offset + f.width] {
+                *b = 0xFF;
+            }
+        }
+        RvhVector {
+            fields,
+            mask: WildcardMask::from_bytes(&bytes),
+            table: CuckooTable::with_capacity_for(mem, rule_capacity.max(8), 0.85, MINIFLOW_LEN),
+            lists: Vec::new(),
+            free_lists: Vec::new(),
+        }
+    }
+
+    /// The marker key for `ranges` anchored here: each group field's
+    /// exact value written into a zeroed miniflow.
+    fn marker_key(&self, ranges: &[FieldRange; NUM_FIELDS]) -> FlowKey {
+        let mut bytes = [0u8; MINIFLOW_LEN];
+        for &fi in self.fields {
+            FIELDS[fi].write(&mut bytes, ranges[fi].lo);
+        }
+        FlowKey::from_bytes(&bytes)
+    }
+
+    /// Whether a rule with these ranges can anchor here: every group
+    /// field pinned to a single value. Vacuously true for the residual.
+    fn anchors(&self, ranges: &[FieldRange; NUM_FIELDS]) -> bool {
+        self.fields.iter().all(|&fi| ranges[fi].is_exact())
+    }
+}
+
+/// A range-vector-hash wildcard table over simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use halo_classify::{FieldRange, PacketHeader, RangeRule, RvhTable};
+/// use halo_mem::SimMemory;
+///
+/// let mut mem = SimMemory::new();
+/// let mut rvh = RvhTable::with_capacity(&mut mem, 1024);
+/// let pkt = PacketHeader::synthetic(7);
+/// let mut rule = RangeRule::exact_flow(&pkt.miniflow(), 5, 99);
+/// rule.ranges[3] = FieldRange::span(0, 65_535); // any dst_port
+/// rvh.insert(&mut mem, &rule).unwrap();
+/// assert_eq!(rvh.classify(&mem, &pkt.miniflow()).unwrap().action, 99);
+/// ```
+#[derive(Debug)]
+pub struct RvhTable {
+    vectors: [RvhVector; RVH_VECTORS],
+    rules: Vec<Option<StoredRule>>,
+    free_rules: Vec<usize>,
+    /// One simulated cache line per rule slot: the candidate's stored
+    /// ranges, fetched before the range comparison.
+    rule_lines: Vec<Addr>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl RvhTable {
+    /// Builds an RVH table whose marker tables are sized for
+    /// `rule_capacity` rules each.
+    #[must_use]
+    pub fn with_capacity(mem: &mut SimMemory, rule_capacity: usize) -> Self {
+        RvhTable {
+            vectors: VECTOR_FIELDS.map(|fields| RvhVector::new(mem, fields, rule_capacity)),
+            rules: Vec::new(),
+            free_rules: Vec::new(),
+            rule_lines: Vec::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of installed rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no rules are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Marker probes per classification (constant: one per vector).
+    #[must_use]
+    pub fn probes(&self) -> usize {
+        RVH_VECTORS
+    }
+
+    /// The vector index a rule with these ranges anchors at.
+    fn anchor(&self, ranges: &[FieldRange; NUM_FIELDS]) -> usize {
+        self.vectors
+            .iter()
+            .position(|v| v.anchors(ranges))
+            .expect("residual vector anchors everything")
+    }
+
+    /// The slot index of the rule with exactly these ranges, if any.
+    fn find(&self, ranges: &[FieldRange; NUM_FIELDS]) -> Option<usize> {
+        self.rules
+            .iter()
+            .position(|s| s.is_some_and(|s| s.rule.ranges == *ranges))
+    }
+
+    /// Installs `rule`, returning the `(priority, action)` of the rule
+    /// with identical ranges it replaced, if any. Replacement keeps the
+    /// incumbent's insertion sequence, mirroring in-place update in the
+    /// tuple space.
+    ///
+    /// # Errors
+    ///
+    /// [`RuleError::ActionRange`] if the action exceeds 48 bits (the
+    /// table is unchanged); [`RuleError::Full`] if the anchor vector's
+    /// marker table cannot place the rule's vector key.
+    pub fn insert(
+        &mut self,
+        mem: &mut SimMemory,
+        rule: &RangeRule,
+    ) -> Result<Option<(u16, u64)>, RuleError> {
+        // Same 48-bit action domain as the tuple space encoders.
+        let _ = try_encode_rule(rule.priority, rule.action)?;
+        if let Some(slot) = self.find(&rule.ranges) {
+            let old = self.rules[slot].as_mut().expect("found slot is live");
+            let replaced = (old.rule.priority, old.rule.action);
+            old.rule = *rule;
+            return Ok(Some(replaced));
+        }
+        let vec_idx = self.anchor(&rule.ranges);
+        let marker = self.vectors[vec_idx].marker_key(&rule.ranges);
+        // Resolve (or create) the candidate list before touching the
+        // rule store, so a full marker table leaves us unchanged.
+        let list_id = match self.vectors[vec_idx].table.lookup(mem, &marker) {
+            Some(id) => id as usize,
+            None => {
+                let v = &mut self.vectors[vec_idx];
+                let id = v.free_lists.pop().unwrap_or_else(|| {
+                    v.lists.push(Vec::new());
+                    v.lists.len() - 1
+                });
+                if let Err(e) = v.table.insert(mem, &marker, id as u64) {
+                    if v.lists[id].is_empty() {
+                        v.free_lists.push(id);
+                    }
+                    return Err(RuleError::Full(e));
+                }
+                id
+            }
+        };
+        let slot = self.free_rules.pop().unwrap_or_else(|| {
+            self.rules.push(None);
+            self.rule_lines.push(mem.alloc_lines(CACHE_LINE));
+            self.rules.len() - 1
+        });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rules[slot] = Some(StoredRule { rule: *rule, seq });
+        self.vectors[vec_idx].lists[list_id].push(slot);
+        self.live += 1;
+        Ok(None)
+    }
+
+    /// Removes the rule with exactly these ranges, returning its
+    /// `(priority, action)` if it was installed.
+    pub fn remove(
+        &mut self,
+        mem: &mut SimMemory,
+        ranges: &[FieldRange; NUM_FIELDS],
+    ) -> Option<(u16, u64)> {
+        let slot = self.find(ranges)?;
+        let stored = self.rules[slot].take().expect("found slot is live");
+        let vec_idx = self.anchor(ranges);
+        let marker = self.vectors[vec_idx].marker_key(ranges);
+        let v = &mut self.vectors[vec_idx];
+        let list_id = v.table.lookup(mem, &marker).expect("marker for live rule") as usize;
+        v.lists[list_id].retain(|&s| s != slot);
+        if v.lists[list_id].is_empty() {
+            v.table.remove(mem, &marker);
+            v.free_lists.push(list_id);
+        }
+        self.free_rules.push(slot);
+        self.live -= 1;
+        Some((stored.rule.priority, stored.rule.action))
+    }
+
+    /// Functional classification (no trace).
+    #[must_use]
+    pub fn classify(&self, mem: &SimMemory, key: &FlowKey) -> Option<RuleMatch> {
+        self.classify_traced(mem, key, false).0
+    }
+
+    /// Classification with per-probe [`LookupTrace`]s: one marker-table
+    /// probe per vector, each extended with a [`TraceStep::LoadKv`] +
+    /// [`TraceStep::CompareKey`] per candidate rule range-checked.
+    /// Winner on (priority desc, insertion seq asc); the returned
+    /// [`RuleMatch::tuple`] is the winning *vector* (probe slot) index.
+    #[must_use]
+    pub fn classify_traced(
+        &self,
+        mem: &SimMemory,
+        key: &FlowKey,
+        software_locking: bool,
+    ) -> (Option<RuleMatch>, Vec<(usize, LookupTrace)>) {
+        let mut probes = Vec::with_capacity(RVH_VECTORS);
+        let mut best: Option<(RuleMatch, u64)> = None;
+        for (vi, v) in self.vectors.iter().enumerate() {
+            let masked = v.mask.apply(key);
+            let mut trace = v.table.lookup_traced(mem, &masked, software_locking);
+            if let Some(list_id) = trace.result {
+                for &slot in &v.lists[list_id as usize] {
+                    // Candidate fetch + range comparison, priced like a
+                    // kv-line visit in the exact tables.
+                    trace.steps.push(TraceStep::LoadKv(self.rule_lines[slot]));
+                    trace.steps.push(TraceStep::CompareKey);
+                    let stored = self.rules[slot].expect("listed slot is live");
+                    if !stored.rule.matches(key) {
+                        continue;
+                    }
+                    let better = best.as_ref().is_none_or(|(b, bseq)| {
+                        stored.rule.priority > b.priority
+                            || (stored.rule.priority == b.priority && stored.seq < *bseq)
+                    });
+                    if better {
+                        best = Some((
+                            RuleMatch {
+                                tuple: vi,
+                                priority: stored.rule.priority,
+                                action: stored.rule.action,
+                            },
+                            stored.seq,
+                        ));
+                    }
+                }
+            }
+            // The marker value is internal; the probe's functional
+            // result is whether this vector produced the current best.
+            trace.result = None;
+            probes.push((vi, trace));
+        }
+        if let Some((m, _)) = &best {
+            let encoded = (u64::from(m.priority) << 48) | m.action;
+            probes[m.tuple].1.result = Some(encoded);
+        }
+        (best.map(|(m, _)| m), probes)
+    }
+
+    /// Metadata-line address of vector `probe`'s marker table.
+    #[must_use]
+    pub fn probe_meta_addr(&self, probe: usize) -> Option<Addr> {
+        self.vectors.get(probe).map(|v| v.table.meta_addr())
+    }
+
+    /// Version-counter address of vector `probe`'s marker table.
+    #[must_use]
+    pub fn probe_version_addr(&self, probe: usize) -> Option<Addr> {
+        self.vectors.get(probe).map(|v| v.table.version_addr())
+    }
+
+    /// Every simulated-memory line the table occupies: marker tables
+    /// plus the live rule lines (footprint accounting / LLC warming).
+    #[must_use]
+    pub fn memory_lines(&self) -> Vec<Addr> {
+        let mut lines: Vec<Addr> = self
+            .vectors
+            .iter()
+            .flat_map(|v| v.table.all_lines().collect::<Vec<_>>())
+            .collect();
+        for (slot, r) in self.rules.iter().enumerate() {
+            if r.is_some() {
+                lines.push(self.rule_lines[slot]);
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketHeader;
+
+    fn port_range_rule(id: u64, lo: u64, hi: u64, priority: u16, action: u64) -> RangeRule {
+        let mut rule =
+            RangeRule::exact_flow(&PacketHeader::synthetic(id).miniflow(), priority, action);
+        rule.ranges[3] = FieldRange::span(lo, hi);
+        rule
+    }
+
+    #[test]
+    fn exact_rules_round_trip() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 256);
+        for id in 0..100u64 {
+            let key = PacketHeader::synthetic(id).miniflow();
+            let rule = RangeRule::exact_flow(&key, id as u16, id);
+            assert_eq!(rvh.insert(&mut mem, &rule).unwrap(), None);
+        }
+        assert_eq!(rvh.len(), 100);
+        for id in 0..100u64 {
+            let key = PacketHeader::synthetic(id).miniflow();
+            let m = rvh.classify(&mem, &key).unwrap();
+            assert_eq!((m.priority, m.action), (id as u16, id));
+        }
+        assert_eq!(
+            rvh.classify(&mem, &PacketHeader::synthetic(500).miniflow()),
+            None
+        );
+    }
+
+    #[test]
+    fn range_rules_match_their_interval() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        let rule = port_range_rule(3, 1_000, 1_999, 7, 42);
+        rvh.insert(&mut mem, &rule).unwrap();
+        for (dport, hit) in [
+            (999u64, false),
+            (1_000, true),
+            (1_500, true),
+            (1_999, true),
+            (2_000, false),
+        ] {
+            let mut bytes = [0u8; MINIFLOW_LEN];
+            bytes.copy_from_slice(rule.point_key().as_bytes());
+            FIELDS[3].write(&mut bytes, dport);
+            let key = FlowKey::from_bytes(&bytes);
+            assert_eq!(rvh.classify(&mem, &key).is_some(), hit, "dport {dport}");
+        }
+    }
+
+    #[test]
+    fn replacement_and_removal_are_observable() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        let rule = port_range_rule(9, 80, 443, 3, 30);
+        assert_eq!(rvh.insert(&mut mem, &rule).unwrap(), None);
+        let mut update = rule;
+        update.priority = 5;
+        update.action = 50;
+        assert_eq!(rvh.insert(&mut mem, &update).unwrap(), Some((3, 30)));
+        assert_eq!(rvh.len(), 1);
+        assert_eq!(rvh.remove(&mut mem, &rule.ranges), Some((5, 50)));
+        assert_eq!(rvh.remove(&mut mem, &rule.ranges), None);
+        assert!(rvh.is_empty());
+        assert_eq!(rvh.classify(&mem, &rule.point_key()), None);
+    }
+
+    #[test]
+    fn priority_then_sequence_breaks_ties() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        // Two overlapping rules with equal priority: first inserted
+        // wins. A third with higher priority beats both.
+        let wide = port_range_rule(4, 0, 65_535, 2, 100);
+        let mut narrow = wide;
+        narrow.ranges[3] = FieldRange::span(0, 1_023);
+        narrow.action = 200;
+        rvh.insert(&mut mem, &wide).unwrap();
+        rvh.insert(&mut mem, &narrow).unwrap();
+        let mut key_bytes = [0u8; MINIFLOW_LEN];
+        key_bytes.copy_from_slice(wide.point_key().as_bytes());
+        FIELDS[3].write(&mut key_bytes, 500);
+        let key = FlowKey::from_bytes(&key_bytes);
+        assert_eq!(
+            rvh.classify(&mem, &key).unwrap().action,
+            100,
+            "first in wins tie"
+        );
+        let mut high = narrow;
+        high.ranges[3] = FieldRange::span(400, 600);
+        high.priority = 9;
+        high.action = 300;
+        rvh.insert(&mut mem, &high).unwrap();
+        assert_eq!(rvh.classify(&mem, &key).unwrap().action, 300);
+    }
+
+    #[test]
+    fn residual_vector_catches_all_range_rules() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        // Ranges on every field group: anchors nowhere but the residual.
+        let mut rule = RangeRule::exact_flow(&PacketHeader::synthetic(1).miniflow(), 1, 11);
+        rule.ranges[0] = FieldRange::span(0, u64::from(u32::MAX));
+        rule.ranges[3] = FieldRange::span(0, 100);
+        rule.ranges[4] = FieldRange::span(0, 255);
+        assert_eq!(rvh.anchor(&rule.ranges), RVH_VECTORS - 1);
+        rvh.insert(&mut mem, &rule).unwrap();
+        let mut bytes = [0u8; MINIFLOW_LEN];
+        bytes.copy_from_slice(rule.point_key().as_bytes());
+        FIELDS[0].write(&mut bytes, 0xDEAD_BEEF);
+        FIELDS[4].write(&mut bytes, 6);
+        let key = FlowKey::from_bytes(&bytes);
+        assert_eq!(rvh.classify(&mem, &key).unwrap().action, 11);
+    }
+
+    #[test]
+    fn probe_count_is_constant() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 256);
+        for id in 0..50 {
+            rvh.insert(&mut mem, &port_range_rule(id, 0, 1_000 + id, id as u16, id))
+                .unwrap();
+        }
+        let key = PacketHeader::synthetic(3).miniflow();
+        let (_, probes) = rvh.classify_traced(&mem, &key, false);
+        assert_eq!(probes.len(), RVH_VECTORS);
+        assert_eq!(rvh.probes(), RVH_VECTORS);
+        for (i, (vi, _)) in probes.iter().enumerate() {
+            assert_eq!(*vi, i);
+        }
+    }
+
+    #[test]
+    fn oversized_action_is_rejected_unchanged() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        let mut rule = port_range_rule(2, 0, 10, 1, 1 << 48);
+        assert!(matches!(
+            rvh.insert(&mut mem, &rule),
+            Err(RuleError::ActionRange(_))
+        ));
+        assert!(rvh.is_empty());
+        rule.action = (1 << 48) - 1;
+        rvh.insert(&mut mem, &rule).unwrap();
+        assert_eq!(rvh.len(), 1);
+    }
+
+    #[test]
+    fn traced_candidates_touch_rule_lines() {
+        let mut mem = SimMemory::new();
+        let mut rvh = RvhTable::with_capacity(&mut mem, 64);
+        let rule = port_range_rule(6, 0, 9_999, 4, 44);
+        rvh.insert(&mut mem, &rule).unwrap();
+        let (m, probes) = rvh.classify_traced(&mem, &rule.point_key(), false);
+        assert_eq!(m.unwrap().action, 44);
+        let kv_loads: usize = probes
+            .iter()
+            .flat_map(|(_, t)| &t.steps)
+            .filter(|s| matches!(s, TraceStep::LoadKv(_)))
+            .count();
+        assert!(kv_loads >= 1, "candidate fetch must be priced");
+        assert!(!rvh.memory_lines().is_empty());
+    }
+}

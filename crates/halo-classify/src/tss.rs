@@ -21,13 +21,20 @@ pub enum SearchMode {
     FirstMatch,
     /// Probe all tuples; return the highest-priority match (OpenFlow
     /// layer).
+    ///
+    /// Priority ties are broken deterministically toward the *lowest
+    /// tuple index* ([`RuleMatch::beats`]), independent of probe order.
+    /// The tie-break is part of the search contract: alternative
+    /// wildcard backends that probe in a different order must reproduce
+    /// the same decision, or backend comparisons diverge on ties.
     HighestPriority,
 }
 
 /// A successful classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleMatch {
-    /// Index of the tuple that matched.
+    /// Index of the tuple that matched (for non-TSS wildcard backends:
+    /// the probe slot that produced the match).
     pub tuple: usize,
     /// Rule priority (meaningful under [`SearchMode::HighestPriority`]).
     pub priority: u16,
@@ -35,11 +42,89 @@ pub struct RuleMatch {
     pub action: u64,
 }
 
+impl RuleMatch {
+    /// The deterministic [`SearchMode::HighestPriority`] ordering:
+    /// `self` displaces `incumbent` iff it has strictly higher
+    /// priority, or equal priority and a lower tuple index — i.e. the
+    /// winner is max by (priority desc, tuple index asc), regardless of
+    /// the order the tuples were probed in.
+    #[must_use]
+    pub fn beats(&self, incumbent: &RuleMatch) -> bool {
+        self.priority > incumbent.priority
+            || (self.priority == incumbent.priority && self.tuple < incumbent.tuple)
+    }
+}
+
+/// The action value `action` does not fit the 48-bit action field of an
+/// encoded rule (the upper 16 bits hold the priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionRangeError {
+    /// The out-of-range action.
+    pub action: u64,
+}
+
+impl std::fmt::Display for ActionRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "action {:#x} does not fit in 48 bits", self.action)
+    }
+}
+
+impl std::error::Error for ActionRangeError {}
+
+/// Why a rule could not be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleError {
+    /// The action value does not fit in 48 bits.
+    ActionRange(ActionRangeError),
+    /// The tuple's table cannot place the masked key.
+    Full(TableFullError),
+}
+
+impl std::fmt::Display for RuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleError::ActionRange(e) => e.fmt(f),
+            RuleError::Full(_) => write!(f, "tuple table full"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<ActionRangeError> for RuleError {
+    fn from(e: ActionRangeError) -> Self {
+        RuleError::ActionRange(e)
+    }
+}
+
+impl From<TableFullError> for RuleError {
+    fn from(e: TableFullError) -> Self {
+        RuleError::Full(e)
+    }
+}
+
+/// Encodes priority + action into a table value, reporting oversized
+/// actions as a typed error instead of aborting the datapath.
+///
+/// # Errors
+///
+/// Returns [`ActionRangeError`] if `action` needs more than 48 bits.
+pub fn try_encode_rule(priority: u16, action: u64) -> Result<u64, ActionRangeError> {
+    if action >= (1 << 48) {
+        return Err(ActionRangeError { action });
+    }
+    Ok((u64::from(priority) << 48) | action)
+}
+
 /// Encodes priority + action into a table value.
+///
+/// # Panics
+///
+/// Panics if `action` does not fit in 48 bits; fallible callers (rule
+/// installation paths) should go through [`try_encode_rule`].
 #[must_use]
 pub fn encode_rule(priority: u16, action: u64) -> u64 {
-    assert!(action < (1 << 48), "action must fit 48 bits");
-    (u64::from(priority) << 48) | action
+    try_encode_rule(priority, action).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Decodes a table value into `(priority, action)`.
@@ -168,12 +253,33 @@ impl<T: FlowTable> TupleSpace<T> {
         self.tuples.iter().map(Tuple::len).sum()
     }
 
+    /// Appends a pre-built tuple to the search order, returning its
+    /// index. This is how range-capable frontends grow the space one
+    /// tuple per newly-seen mask, the way OVS creates a MegaFlow tuple
+    /// on first use of a wildcard pattern.
+    pub fn push_tuple(&mut self, tuple: Tuple<T>) -> usize {
+        self.tuples.push(tuple);
+        self.tuples.len() - 1
+    }
+
+    /// Index of the tuple carrying exactly `mask`, if one exists.
+    #[must_use]
+    pub fn tuple_with_mask(&self, mask: &WildcardMask) -> Option<usize> {
+        self.tuples.iter().position(|t| t.mask() == mask)
+    }
+
     /// Installs a rule in tuple `tuple_idx`: the rule matches any key
-    /// whose masked bytes equal `key & mask`.
+    /// whose masked bytes equal `key & mask`. If a rule for the same
+    /// masked key already exists it is overwritten **and reported**:
+    /// the replaced rule's `(priority, action)` comes back as
+    /// `Ok(Some(..))`, so churn accounting and differential oracles
+    /// observe the replacement instead of silently losing a rule.
     ///
     /// # Errors
     ///
-    /// Returns [`TableFullError`] if the tuple's table is full.
+    /// Returns [`RuleError::ActionRange`] if `action` needs more than
+    /// 48 bits, [`RuleError::Full`] if the tuple's table is full. The
+    /// space is unchanged on error.
     ///
     /// # Panics
     ///
@@ -185,12 +291,13 @@ impl<T: FlowTable> TupleSpace<T> {
         key: &FlowKey,
         priority: u16,
         action: u64,
-    ) -> Result<(), TableFullError> {
+    ) -> Result<Option<(u16, u64)>, RuleError> {
+        let value = try_encode_rule(priority, action)?;
         let tuple = &mut self.tuples[tuple_idx];
         let masked = tuple.mask.apply(key);
-        tuple
-            .table
-            .insert(mem, &masked, encode_rule(priority, action))
+        let replaced = tuple.table.lookup(mem, &masked).map(decode_rule);
+        tuple.table.insert(mem, &masked, value)?;
+        Ok(replaced)
     }
 
     /// Removes the rule matching `key & mask` from tuple `tuple_idx`
@@ -245,7 +352,9 @@ impl<T: FlowTable> TupleSpace<T> {
                 match self.mode {
                     SearchMode::FirstMatch => return (Some(m), probes),
                     SearchMode::HighestPriority => {
-                        if best.is_none_or(|b| m.priority > b.priority) {
+                        // Explicit deterministic tie-break: (priority
+                        // desc, tuple index asc), not probe order.
+                        if best.is_none_or(|b| m.beats(&b)) {
                             best = Some(m);
                         }
                     }
@@ -272,7 +381,8 @@ impl<T: FlowTable> TupleSpace<T> {
                 match self.mode {
                     SearchMode::FirstMatch => return Some(m),
                     SearchMode::HighestPriority => {
-                        if best.is_none_or(|b| m.priority > b.priority) {
+                        // Same explicit tie-break as the hashed search.
+                        if best.is_none_or(|b| m.beats(&b)) {
                             best = Some(m);
                         }
                     }
@@ -439,6 +549,147 @@ mod tests {
                 "backends diverged at id {id}"
             );
         }
+    }
+
+    /// Re-inserting a rule whose masked key collides with an installed
+    /// rule overwrites it — and the replacement is *reported*, not
+    /// swallowed: churn accounting must see the evicted rule.
+    #[test]
+    fn insert_reports_masked_key_replacement() {
+        let mut mem = SimMemory::new();
+        let masks = vec![WildcardMask::exact().any_src_port()];
+        let mut tss = TupleSpace::new(&mut mem, masks, 256, SearchMode::FirstMatch);
+        let base = PacketHeader::synthetic(11);
+        let mut other = base;
+        other.src_port = base.src_port.wrapping_add(77);
+        // Fresh insert: nothing replaced.
+        assert_eq!(
+            tss.insert_rule(&mut mem, 0, &base.miniflow(), 4, 100)
+                .unwrap(),
+            None
+        );
+        // Distinct header, same masked key: in-place overwrite, and the
+        // old (priority, action) comes back.
+        assert_eq!(
+            tss.insert_rule(&mut mem, 0, &other.miniflow(), 9, 200)
+                .unwrap(),
+            Some((4, 100))
+        );
+        assert_eq!(tss.total_rules(), 1, "replacement must not grow the space");
+        assert_eq!(tss.classify(&mem, &base.miniflow()).unwrap().action, 200);
+    }
+
+    /// A churn-style insert/remove/re-insert cycle over one masked key:
+    /// every transition's return value reflects what was really there.
+    #[test]
+    fn replacement_is_observable_under_churn() {
+        let mut mem = SimMemory::new();
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(2), 256, SearchMode::FirstMatch);
+        let k = key(3);
+        for round in 0..5u64 {
+            let expect_prev = if round == 0 {
+                None
+            } else {
+                Some(((round - 1) as u16, round - 1))
+            };
+            assert_eq!(
+                tss.insert_rule(&mut mem, 1, &k, round as u16, round)
+                    .unwrap(),
+                expect_prev,
+                "round {round}"
+            );
+        }
+        assert_eq!(tss.remove_rule(&mut mem, 1, &k), Some((4, 4)));
+        assert_eq!(tss.insert_rule(&mut mem, 1, &k, 0, 9).unwrap(), None);
+    }
+
+    /// Equal-priority rules resolve to the lowest tuple index — pinned
+    /// so a backend probing in another order cannot legally differ.
+    #[test]
+    fn equal_priority_tie_breaks_to_lowest_tuple() {
+        let mut mem = SimMemory::new();
+        let mut tss = TupleSpace::new(
+            &mut mem,
+            distinct_masks(4),
+            256,
+            SearchMode::HighestPriority,
+        );
+        let k = key(7);
+        // Insert in descending tuple order so insertion order cannot
+        // accidentally produce the right answer.
+        tss.insert_rule(&mut mem, 3, &k, 5, 300).unwrap();
+        tss.insert_rule(&mut mem, 1, &k, 5, 100).unwrap();
+        tss.insert_rule(&mut mem, 2, &k, 5, 200).unwrap();
+        let m = tss.classify(&mem, &k).unwrap();
+        assert_eq!((m.tuple, m.action), (1, 100), "lowest tuple wins ties");
+        assert_eq!(tss.classify_linear(&mem, &k), Some(m), "oracle agrees");
+        // And a strictly higher priority still beats a lower tuple.
+        tss.insert_rule(&mut mem, 2, &k, 6, 999).unwrap();
+        assert_eq!(tss.classify(&mem, &k).unwrap().action, 999);
+    }
+
+    /// `RuleMatch::beats` is exactly (priority desc, tuple asc).
+    #[test]
+    fn beats_orders_by_priority_then_tuple() {
+        let m = |tuple, priority| RuleMatch {
+            tuple,
+            priority,
+            action: 0,
+        };
+        assert!(m(5, 9).beats(&m(0, 8)));
+        assert!(!m(0, 8).beats(&m(5, 9)));
+        assert!(m(1, 7).beats(&m(2, 7)));
+        assert!(!m(2, 7).beats(&m(1, 7)));
+        assert!(!m(2, 7).beats(&m(2, 7)), "a match never beats itself");
+    }
+
+    /// Oversized actions surface as a typed error through `insert_rule`
+    /// instead of aborting, and the boundary values behave.
+    #[test]
+    fn action_range_is_a_typed_error() {
+        assert_eq!(
+            try_encode_rule(1, (1 << 48) - 1),
+            Ok((1 << 48) | ((1 << 48) - 1))
+        );
+        assert_eq!(
+            try_encode_rule(1, 1 << 48),
+            Err(ActionRangeError { action: 1 << 48 })
+        );
+        assert_eq!(
+            try_encode_rule(0, u64::MAX),
+            Err(ActionRangeError { action: u64::MAX })
+        );
+        let mut mem = SimMemory::new();
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(2), 256, SearchMode::FirstMatch);
+        let k = key(1);
+        assert_eq!(
+            tss.insert_rule(&mut mem, 0, &k, 1, 1 << 48),
+            Err(RuleError::ActionRange(ActionRangeError { action: 1 << 48 }))
+        );
+        assert_eq!(tss.total_rules(), 0, "failed insert must not install");
+        tss.insert_rule(&mut mem, 0, &k, 1, (1 << 48) - 1).unwrap();
+        assert_eq!(tss.classify(&mem, &k).unwrap().action, (1 << 48) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn infallible_encode_still_panics() {
+        let _ = encode_rule(0, 1 << 48);
+    }
+
+    #[test]
+    fn push_tuple_extends_search_order() {
+        let mut mem = SimMemory::new();
+        let mut tss = TupleSpace::new(&mut mem, distinct_masks(2), 64, SearchMode::HighestPriority);
+        let mask = WildcardMask::exact().any_proto();
+        assert_eq!(tss.tuple_with_mask(&mask), None);
+        let table = CuckooTable::with_capacity_for(&mut mem, 64, 0.85, crate::packet::MINIFLOW_LEN);
+        let idx = tss.push_tuple(Tuple::from_parts(mask.clone(), table));
+        assert_eq!(idx, 2);
+        assert_eq!(tss.tuple_with_mask(&mask), Some(idx));
+        let k = key(9);
+        tss.insert_rule(&mut mem, idx, &k, 3, 33).unwrap();
+        assert_eq!(tss.classify(&mem, &k).unwrap().tuple, idx);
     }
 
     #[test]

@@ -20,12 +20,16 @@
 //!   logic ([`LookupExecutor::run_sw`] for software replay,
 //!   [`LookupExecutor::search`] for the full tuple-space walk).
 //! * [`DatapathCore`] — the per-core classification stage: EMC probe →
-//!   MegaFlow search → promotion, generic over any
-//!   [`FlowTable`](halo_tables::FlowTable) backend.
+//!   MegaFlow search → promotion, generic over any [`WildcardTable`]
+//!   backend.
 //! * [`TableBackend`] / [`ExactTable`] — runtime selection of the
 //!   exact-match implementation (baseline cuckoo, Cuckoo++ presence
 //!   filters, EMOMA CBF steering) behind one dispatch enum, so configs
 //!   name a backend instead of growing a type parameter.
+//! * [`WildcardBackend`] / [`WildcardMatcher`] — the same runtime
+//!   selection for the wildcard (MegaFlow/OpenFlow) layer behind the
+//!   object-safe [`WildcardTable`] seam: tuple space search or
+//!   range-vector hashing ([`halo_classify::RvhTable`]).
 //!
 //! The timing contract is strict: for identical inputs the executor
 //! reproduces cycle-for-cycle the access streams of the paths it
@@ -62,15 +66,17 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod wildcard;
 
 pub use backend::{ExactTable, TableBackend};
+pub use wildcard::{TssRangeTable, WildcardBackend, WildcardError, WildcardMatcher, WildcardTable};
 
 use halo_accel::HaloEngine;
-use halo_classify::{Emc, RuleMatch, TupleSpace};
+use halo_classify::{Emc, RuleMatch};
 use halo_cpu::{build_sw_lookup_into, CoreModel, ExecReport, Program, Scratch};
 use halo_mem::{Addr, CoreId, CoreMem, MemCtx, MemorySystem, SimMemory, CACHE_LINE};
 use halo_sim::{Cycle, Cycles};
-use halo_tables::{hash_key, FlowKey, FlowTable, LookupTrace, SEED_PRIMARY};
+use halo_tables::{hash_key, FlowKey, LookupTrace, SEED_PRIMARY};
 
 /// How flow-classification lookups execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,10 +305,10 @@ impl LookupExecutor {
         self.core_model.run(&self.prog_buf, sys, at).finish
     }
 
-    /// Times a full tuple-space search whose functional probes are
+    /// Times a full wildcard search whose functional probes are
     /// already recorded in `probes` (from
-    /// [`TupleSpace::classify_traced`]). Dispatches per the executor's
-    /// backend:
+    /// [`WildcardTable::classify_traced`]). Dispatches per the
+    /// executor's backend:
     ///
     /// * [`LookupBackend::Software`] — each probe replayed sequentially
     ///   on the core.
@@ -319,11 +325,11 @@ impl LookupExecutor {
     /// Panics if a HALO backend is configured but `engine` is `None`,
     /// or if the non-blocking backend runs without an [`NbRegion`]
     /// large enough for `probes`.
-    pub fn search<T: FlowTable>(
+    pub fn search<W: WildcardTable + ?Sized>(
         &mut self,
         sys: &mut MemorySystem,
         engine: Option<&mut HaloEngine>,
-        space: &TupleSpace<T>,
+        space: &W,
         key: &FlowKey,
         probes: &[(usize, LookupTrace)],
         at: Cycle,
@@ -344,7 +350,7 @@ impl LookupExecutor {
                     self.core,
                     probes
                         .iter()
-                        .map(|(i, tr)| (Self::tuple_addr(space, *i), tr, base_hash ^ (*i as u64))),
+                        .map(|(i, tr)| (Self::probe_addr(space, *i), tr, base_hash ^ (*i as u64))),
                     BLOCKING_RESUME,
                     at,
                 )
@@ -360,7 +366,7 @@ impl LookupExecutor {
                     let out = engine.dispatch(
                         sys,
                         self.core,
-                        Self::tuple_addr(space, *i),
+                        Self::probe_addr(space, *i),
                         tr,
                         h,
                         None,
@@ -380,15 +386,14 @@ impl LookupExecutor {
         }
     }
 
-    /// The dispatchable table address of tuple `i` of `space`.
+    /// The dispatchable table address of probe slot `i` of `space`.
     ///
     /// # Panics
     ///
     /// Panics for backends without in-memory metadata (e.g. TCAM).
-    fn tuple_addr<T: FlowTable>(space: &TupleSpace<T>, i: usize) -> Addr {
-        space.tuples()[i]
-            .table()
-            .meta_addr()
+    fn probe_addr<W: WildcardTable + ?Sized>(space: &W, i: usize) -> Addr {
+        space
+            .probe_meta_addr(i)
             .expect("HALO dispatch needs an in-memory table")
     }
 }
@@ -503,11 +508,11 @@ impl DatapathCore {
     /// # Panics
     ///
     /// Panics if a HALO backend is configured but `engine` is `None`.
-    pub fn classify<T: FlowTable>(
+    pub fn classify<W: WildcardTable + ?Sized>(
         &mut self,
         sys: &mut MemorySystem,
         mut engine: Option<&mut HaloEngine>,
-        megaflow: &TupleSpace<T>,
+        megaflow: &W,
         key: &FlowKey,
         key_addr: Option<Addr>,
         at: Cycle,
@@ -587,10 +592,10 @@ impl DatapathCore {
     ///
     /// Panics if either the search backend or the EMC backend is not
     /// [`LookupBackend::Software`].
-    pub fn classify_epoch<S: CoreMem, T: FlowTable>(
+    pub fn classify_epoch<S: CoreMem, W: WildcardTable + ?Sized>(
         &mut self,
         sys: &mut S,
-        megaflow: &TupleSpace<T>,
+        megaflow: &W,
         key: &FlowKey,
         key_addr: Option<Addr>,
         at: Cycle,
@@ -649,7 +654,7 @@ impl DatapathCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use halo_classify::{distinct_masks, PacketHeader, SearchMode};
+    use halo_classify::{distinct_masks, PacketHeader, SearchMode, TupleSpace};
     use halo_mem::MachineConfig;
 
     #[test]

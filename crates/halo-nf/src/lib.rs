@@ -35,11 +35,13 @@
 mod colocate;
 mod compute_nf;
 mod hash_nf;
+mod rulesets;
 mod streaming;
 mod traffic;
 
 pub use colocate::{colocation_experiment, ColocationReport, SwitchImpl};
 pub use compute_nf::{ComputeNf, ComputeNfKind};
 pub use hash_nf::{HashNf, HashNfKind, HashNfReport};
+pub use rulesets::{generate_ruleset, ruleset_traffic, sample_point, RulesetShape};
 pub use streaming::{StreamConfig, StreamingTrafficGen};
 pub use traffic::{fig3_configs, Scenario, TrafficGen};

@@ -1,0 +1,276 @@
+//! Range-heavy ruleset generation for the wildcard-backend ablation.
+//!
+//! Tuple space search keys every rule by one mask, so a ruleset of
+//! exact flows costs one tuple per mask shape. Real ACL/gateway rule
+//! sets instead carry per-field *ranges* (port spans, address blocks),
+//! which TSS can only express by prefix expansion — the RVH backend
+//! (arXiv:1909.07159) targets exactly that gap. This module generates
+//! deterministic rulesets along that spectrum, plus hit/miss traffic
+//! for them, so the `ablation-wildcard` experiment and the halo-check
+//! differential drivers share one vocabulary.
+//!
+//! Every generated ruleset has **unique priorities** (backends must
+//! agree on the winner without relying on tie-break conventions) and
+//! port spans are kept small enough (≤ 1 K values) that TSS expansion
+//! stays tractable.
+
+use halo_classify::{FieldRange, PacketHeader, RangeRule, FIELDS, NUM_FIELDS};
+use halo_sim::SplitMix64;
+use halo_tables::FlowKey;
+
+/// Field indices into [`FIELDS`] (miniflow layout).
+const SRC_IP: usize = 0;
+const DST_IP: usize = 1;
+const SRC_PORT: usize = 2;
+const DST_PORT: usize = 3;
+const PROTO: usize = 4;
+const IN_PORT: usize = 5;
+const VLAN: usize = 6;
+
+/// The shape of a generated ruleset: how range-heavy it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RulesetShape {
+    /// Every rule pins all seven fields exactly (the MegaFlow steady
+    /// state); the best case for tuple space search.
+    ExactHeavy,
+    /// Firewall-style rules: exact endpoints, a destination-port span
+    /// per rule (service ranges), wildcarded remainder.
+    PortRange,
+    /// A gateway ACL mix: one third exact five-tuples, one third port
+    /// spans, one third address-block rules with port spans — several
+    /// rules share endpoints so priorities decide overlaps.
+    AclMix,
+}
+
+impl RulesetShape {
+    /// Every shape, in ablation order (least to most range-heavy).
+    #[must_use]
+    pub fn all() -> [RulesetShape; 3] {
+        [
+            RulesetShape::ExactHeavy,
+            RulesetShape::PortRange,
+            RulesetShape::AclMix,
+        ]
+    }
+
+    /// Stable display name (figure rows and JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RulesetShape::ExactHeavy => "exact-heavy",
+            RulesetShape::PortRange => "port-range",
+            RulesetShape::AclMix => "acl-mix",
+        }
+    }
+}
+
+/// All-wildcard rule body to specialize per shape.
+fn any_ranges() -> [FieldRange; NUM_FIELDS] {
+    let mut ranges = [FieldRange::exact(0); NUM_FIELDS];
+    for (i, r) in ranges.iter_mut().enumerate() {
+        *r = FieldRange::any(i);
+    }
+    ranges
+}
+
+/// A destination-port span for rule `i`: a power-of-two aligned block
+/// of 16–1024 ports (aligned blocks expand to a single prefix, so the
+/// TSS expansion factor stays bounded), plus the occasional unaligned
+/// span to exercise multi-prefix decomposition.
+fn port_span(rng: &mut SplitMix64) -> FieldRange {
+    let width = 4 + (rng.below(7) as u32); // 16..=1024 ports
+    let size = 1u64 << width;
+    let lo = rng.below((1 << 16) / size) * size;
+    if rng.chance(0.25) {
+        // Unaligned: trim both ends so decomposition emits several
+        // prefixes (still ≤ 2·16−2 per field).
+        let trim = 1 + rng.below(size / 4);
+        FieldRange::span(lo + trim, lo + size - 1 - trim.min(size / 4))
+    } else {
+        FieldRange::span(lo, lo + size - 1)
+    }
+}
+
+/// Generates `rules` deterministic range rules of the given shape.
+///
+/// Priorities are unique (descending from `rules`), actions are the
+/// rule index, and every rule is satisfiable. Rules of the ACL mix
+/// deliberately overlap on shared endpoints.
+///
+/// # Panics
+///
+/// Panics if `rules` does not fit the 16-bit priority space.
+#[must_use]
+pub fn generate_ruleset(shape: RulesetShape, rules: usize, seed: u64) -> Vec<RangeRule> {
+    assert!(rules < u16::MAX as usize, "priority space is 16-bit");
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(rules);
+    for i in 0..rules {
+        let priority = (rules - i) as u16;
+        let action = i as u64;
+        let rule = match shape {
+            RulesetShape::ExactHeavy => {
+                let key = PacketHeader::synthetic(i as u64).miniflow();
+                RangeRule::exact_flow(&key, priority, action)
+            }
+            RulesetShape::PortRange => {
+                let mut ranges = any_ranges();
+                ranges[SRC_IP] = FieldRange::exact(0x0a00_0000 | i as u64);
+                ranges[DST_IP] = FieldRange::exact(0x0a80_0000 | i as u64);
+                ranges[DST_PORT] = port_span(&mut rng);
+                ranges[PROTO] = FieldRange::exact(if rng.chance(0.5) { 6 } else { 17 });
+                RangeRule {
+                    ranges,
+                    priority,
+                    action,
+                }
+            }
+            RulesetShape::AclMix => {
+                let mut ranges = any_ranges();
+                // A quarter of the address space is shared, so rules
+                // overlap and priorities pick winners.
+                let host = (i % (rules / 4 + 1)) as u64;
+                match i % 3 {
+                    0 => {
+                        let key = PacketHeader::synthetic(host).miniflow();
+                        let mut r = RangeRule::exact_flow(&key, priority, action);
+                        r.ranges[VLAN] = FieldRange::exact(i as u64 & 0xfff);
+                        r
+                    }
+                    1 => {
+                        ranges[DST_IP] = FieldRange::exact(0x0a80_0000 | host);
+                        ranges[DST_PORT] = port_span(&mut rng);
+                        ranges[SRC_PORT] = port_span(&mut rng);
+                        RangeRule {
+                            ranges,
+                            priority,
+                            action,
+                        }
+                    }
+                    _ => {
+                        // An aligned /24-style source block.
+                        let block = (0x0a00_0000 | (host << 8)) & !0xff;
+                        ranges[SRC_IP] = FieldRange::span(block, block | 0xff);
+                        ranges[DST_PORT] = port_span(&mut rng);
+                        ranges[IN_PORT] = FieldRange::exact(i as u64 & 0x7f);
+                        RangeRule {
+                            ranges,
+                            priority,
+                            action,
+                        }
+                    }
+                }
+            }
+        };
+        out.push(rule);
+    }
+    out
+}
+
+/// A uniformly random key inside `rule`'s hyperrectangle (guaranteed
+/// hit for that rule, though a higher-priority overlap may still win).
+#[must_use]
+pub fn sample_point(rule: &RangeRule, rng: &mut SplitMix64) -> FlowKey {
+    let mut bytes = [0u8; halo_classify::MINIFLOW_LEN];
+    for (i, f) in FIELDS.iter().enumerate() {
+        let r = rule.ranges[i];
+        let v = r.lo + rng.below(r.hi - r.lo + 1);
+        f.write(&mut bytes, v);
+    }
+    FlowKey::from_bytes(&bytes)
+}
+
+/// A deterministic traffic mix over a ruleset: `hit_fraction` of keys
+/// are sampled inside a uniformly chosen rule, the rest from flow ids
+/// far outside the installed space (mostly misses).
+#[must_use]
+pub fn ruleset_traffic(
+    rules: &[RangeRule],
+    packets: usize,
+    hit_fraction: f64,
+    seed: u64,
+) -> Vec<FlowKey> {
+    let mut rng = SplitMix64::new(seed);
+    (0..packets)
+        .map(|_| {
+            if !rules.is_empty() && rng.chance(hit_fraction) {
+                let r = &rules[rng.below(rules.len() as u64) as usize];
+                sample_point(r, &mut rng)
+            } else {
+                PacketHeader::synthetic(1 << 40 | rng.below(1 << 20)).miniflow()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rulesets_are_deterministic_and_unique_priority() {
+        for shape in RulesetShape::all() {
+            let a = generate_ruleset(shape, 64, 9);
+            let b = generate_ruleset(shape, 64, 9);
+            assert_eq!(a.len(), 64);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.ranges, y.ranges, "{}", shape.name());
+                assert_eq!(x.priority, y.priority);
+            }
+            let mut prios: Vec<u16> = a.iter().map(|r| r.priority).collect();
+            prios.sort_unstable();
+            prios.dedup();
+            assert_eq!(prios.len(), 64, "{}: duplicate priorities", shape.name());
+        }
+    }
+
+    #[test]
+    fn sampled_points_hit_their_rule() {
+        let mut rng = SplitMix64::new(3);
+        for shape in RulesetShape::all() {
+            for rule in generate_ruleset(shape, 40, 11) {
+                for _ in 0..4 {
+                    let key = sample_point(&rule, &mut rng);
+                    assert!(rule.matches(&key), "{}: sampled miss", shape.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_spans_stay_bounded() {
+        for shape in [RulesetShape::PortRange, RulesetShape::AclMix] {
+            for rule in generate_ruleset(shape, 128, 5) {
+                for f in [SRC_PORT, DST_PORT] {
+                    let r = rule.ranges[f];
+                    // A full-domain field is a single wildcard prefix;
+                    // only proper spans threaten the expansion factor.
+                    assert!(
+                        r.is_any(f) || r.hi - r.lo < 1024,
+                        "{}: span too wide",
+                        shape.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_heavy_rules_have_no_ranges() {
+        for rule in generate_ruleset(RulesetShape::ExactHeavy, 32, 1) {
+            assert!(rule.ranges.iter().all(FieldRange::is_exact));
+        }
+    }
+
+    #[test]
+    fn traffic_mix_hits_and_misses() {
+        let rules = generate_ruleset(RulesetShape::PortRange, 64, 7);
+        let keys = ruleset_traffic(&rules, 400, 0.8, 13);
+        let hits = keys
+            .iter()
+            .filter(|k| rules.iter().any(|r| r.matches(k)))
+            .count();
+        assert!(hits > 200, "hit fraction not honored: {hits}");
+        assert!(hits < 400, "misses must exist: {hits}");
+    }
+}

@@ -32,6 +32,7 @@
 mod multicore;
 mod pipeline;
 
+pub use halo_datapath::{WildcardBackend, WildcardError, WildcardMatcher, WildcardTable};
 pub use multicore::{MultiCoreConfig, MultiCoreDatapath, ScalingReport, StreamReport};
 pub use pipeline::{Breakdown, LookupBackend, SwitchConfig, SwitchCounters, VirtualSwitch};
 
@@ -136,6 +137,48 @@ mod tests {
                 t = done;
             }
         }
+    }
+
+    /// The wildcard backend is a runtime config choice: the switch
+    /// classifies identically with the RVH matcher behind the MegaFlow
+    /// seam, and range rules install directly through the switch.
+    #[test]
+    fn rvh_backend_drives_the_switch() {
+        let mut sys = MemorySystem::new(MachineConfig::small());
+        let mut cfg = SwitchConfig::typical(5, LookupBackend::Software);
+        cfg.wildcard_backend = WildcardBackend::Rvh;
+        cfg.emc_entries = 256;
+        let mut vs = VirtualSwitch::new(&mut sys, CoreId(0), cfg);
+        for id in 0..40u64 {
+            let pkt = PacketHeader::synthetic(id);
+            vs.install_flow(&mut sys, &pkt.miniflow(), (id % 5) as usize, 0, id)
+                .unwrap();
+        }
+        vs.warm_tables(&mut sys);
+        assert_eq!(vs.megaflow().name(), "rvh");
+        assert_eq!(vs.megaflow().rules(), 40);
+        let mut t = Cycle(0);
+        for id in 0..40 {
+            let pkt = PacketHeader::synthetic(id);
+            let (action, done) = vs.process_packet(&mut sys, None, &pkt, t);
+            assert_eq!(action, Some(id), "rvh wrong action for flow {id}");
+            t = done;
+        }
+        assert_eq!(vs.counters().misses, 0);
+        // A port-range rule installs straight through the switch API.
+        use halo_classify::{FieldRange, RangeRule};
+        let mut ranges = [FieldRange::any(0); halo_classify::NUM_FIELDS];
+        for (f, r) in ranges.iter_mut().enumerate() {
+            *r = FieldRange::any(f);
+        }
+        ranges[2] = FieldRange::span(1000, 2000);
+        let rule = RangeRule {
+            ranges,
+            priority: 9,
+            action: 77,
+        };
+        assert_eq!(vs.install_range_rule(&mut sys, &rule).unwrap(), None);
+        assert_eq!(vs.megaflow().rules(), 41);
     }
 
     #[test]

@@ -14,11 +14,10 @@
 //! HALO lookups, with optional rule churn from a revalidator thread.
 
 use halo_accel::HaloEngine;
-use halo_classify::{
-    distinct_masks, Emc, PacketHeader, SearchMode, Tuple, TupleSpace, MINIFLOW_LEN,
-};
+use halo_classify::{distinct_masks, Emc, PacketHeader, SearchMode, WildcardMask};
 use halo_datapath::{
-    DatapathCore, ExactTable, LookupExecutor, NbRegion, TableBackend, TrafficEvent,
+    DatapathCore, LookupExecutor, NbRegion, TableBackend, TrafficEvent, WildcardBackend,
+    WildcardMatcher, WildcardTable,
 };
 use halo_mem::{CoreId, EpochCore, MemorySystem, WindowOutcome, CACHE_LINE};
 use halo_sim::{Cycle, SplitMix64};
@@ -41,6 +40,9 @@ pub struct MultiCoreConfig {
     /// Exact-match implementation backing every MegaFlow tuple
     /// (baseline cuckoo by default, preserving historical figures).
     pub table_backend: TableBackend,
+    /// Wildcard-table implementation of the shared MegaFlow layer
+    /// (tuple space search by default, preserving historical figures).
+    pub wildcard_backend: WildcardBackend,
     /// Seed of the packet-arrival stream.
     pub seed: u64,
     /// Promote MegaFlow hits into the per-core EMC (OVS behaviour;
@@ -64,6 +66,7 @@ impl MultiCoreConfig {
             flows,
             backend,
             table_backend: TableBackend::Cuckoo,
+            wildcard_backend: WildcardBackend::default(),
             seed,
             emc_promotion: true,
         }
@@ -95,7 +98,9 @@ struct PmdThread {
 #[derive(Debug)]
 pub struct MultiCoreDatapath {
     pmds: Vec<PmdThread>,
-    megaflow: TupleSpace<ExactTable>,
+    megaflow: WildcardMatcher,
+    /// MegaFlow mask list; rules placed by `flow % masks.len()`.
+    masks: Vec<WildcardMask>,
     flows: u64,
     rng: SplitMix64,
 }
@@ -180,7 +185,7 @@ struct WindowJob<'a> {
 /// locally. Pure in the shared state — identical inputs give identical
 /// outcomes no matter which OS thread evaluates it. Returns the
 /// outcome to merge plus how many packets matched.
-fn exec_window(job: WindowJob<'_>, megaflow: &TupleSpace<ExactTable>) -> (WindowOutcome, u64) {
+fn exec_window(job: WindowJob<'_>, megaflow: &WildcardMatcher) -> (WindowOutcome, u64) {
     let WindowJob {
         mut shard,
         pmd,
@@ -234,6 +239,7 @@ impl MultiCoreDatapath {
             flows,
             backend,
             table_backend,
+            wildcard_backend,
             seed,
             emc_promotion,
         } = cfg;
@@ -241,27 +247,28 @@ impl MultiCoreDatapath {
         // Same per-tuple sizing `TupleSpace::new` uses for the cuckoo
         // baseline, applied to whichever backend the config selects.
         let entries_per_tuple = flows / tuples + 512;
-        let mut megaflow = TupleSpace::from_tuples(
-            distinct_masks(tuples)
-                .into_iter()
-                .map(|mask| {
-                    let table =
-                        table_backend.build(sys.data_mut(), entries_per_tuple, 0.85, MINIFLOW_LEN);
-                    Tuple::from_parts(mask, table)
-                })
-                .collect(),
+        let masks = distinct_masks(tuples);
+        let mut megaflow = wildcard_backend.build(
+            sys.data_mut(),
+            table_backend,
+            &masks,
+            entries_per_tuple,
             SearchMode::FirstMatch,
         );
         for f in 0..flows as u64 {
             let key = PacketHeader::synthetic(f).miniflow();
             megaflow
-                .insert_rule(sys.data_mut(), (f % tuples as u64) as usize, &key, 0, f)
+                .insert_masked(
+                    sys.data_mut(),
+                    &masks[(f % tuples as u64) as usize],
+                    &key,
+                    0,
+                    f,
+                )
                 .expect("tuple sized for its share");
         }
-        for t in megaflow.tuples() {
-            for a in t.table().all_lines() {
-                sys.warm_llc(a);
-            }
+        for a in megaflow.memory_lines() {
+            sys.warm_llc(a);
         }
         let parts: Vec<(LookupExecutor, Emc)> = (0..cores)
             .map(|c| {
@@ -273,9 +280,10 @@ impl MultiCoreDatapath {
             })
             .collect();
         // One NB destination block, carved into per-core regions each
-        // sized for the full tuple count, so concurrent lookups never
-        // alias — neither across cores nor across a core's own probes.
-        let lines_per_core = NbRegion::lines_for(tuples);
+        // sized for the full probe-slot count, so concurrent lookups
+        // never alias — neither across cores nor across a core's own
+        // probes.
+        let lines_per_core = NbRegion::lines_for(megaflow.probes().max(tuples));
         let nb_base = sys
             .data_mut()
             .alloc_lines(lines_per_core * CACHE_LINE * cores as u64);
@@ -303,6 +311,7 @@ impl MultiCoreDatapath {
         MultiCoreDatapath {
             pmds,
             megaflow,
+            masks,
             flows: flows as u64,
             rng: SplitMix64::new(seed),
         }
@@ -355,10 +364,11 @@ impl MultiCoreDatapath {
                 // line invalidate the readers' copies — the core-to-core
                 // coherence cost of §3.4.
                 let wcore = CoreId(sys.config().cores - 1);
-                for ti in 0..self.megaflow.tuples().len() {
-                    let va = self.megaflow.tuples()[ti].table().version_addr();
-                    let at = self.pmds[p].clock;
-                    sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                for ti in 0..self.megaflow.probes() {
+                    if let Some(va) = self.megaflow.probe_version_addr(ti) {
+                        let at = self.pmds[p].clock;
+                        sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                    }
                 }
             }
             self.classify_one(sys, engine.as_deref_mut(), p, flow);
@@ -379,19 +389,23 @@ impl MultiCoreDatapath {
         }
     }
 
-    /// Which tuple a flow's rule lives in (the same `flow % tuples`
-    /// placement [`with_config`](MultiCoreDatapath::with_config) used
-    /// for the initial rule set).
+    /// Which mask a flow's rule is installed under (the same
+    /// `flow % tuples` placement
+    /// [`with_config`](MultiCoreDatapath::with_config) used for the
+    /// initial rule set).
     fn tuple_of(&self, flow: u64) -> usize {
-        (flow % self.megaflow.tuples().len() as u64) as usize
+        (flow % self.masks.len() as u64) as usize
     }
 
-    /// A timed revalidator store to tuple `ti`'s version line — the
-    /// core-to-core coherence cost every table write carries in §3.4.
+    /// A timed revalidator store to the version line of the probe slot
+    /// serving tuple `ti` — the core-to-core coherence cost every table
+    /// write carries in §3.4.
     fn revalidate(&mut self, sys: &mut MemorySystem, ti: usize, at: Cycle) {
         let wcore = CoreId(sys.config().cores - 1);
-        let va = self.megaflow.tuples()[ti].table().version_addr();
-        sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+        let slot = ti % self.megaflow.probes().max(1);
+        if let Some(va) = self.megaflow.probe_version_addr(slot) {
+            sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+        }
     }
 
     /// Runs a streaming workload: packets are classified exactly as in
@@ -434,7 +448,7 @@ impl MultiCoreDatapath {
                     let at = self.front(); // control plane acts "now"
                     if self
                         .megaflow
-                        .insert_rule(sys.data_mut(), ti, &key, 0, flow)
+                        .insert_masked(sys.data_mut(), &self.masks[ti], &key, 0, flow)
                         .is_err()
                     {
                         r.rejected_installs += 1;
@@ -446,7 +460,8 @@ impl MultiCoreDatapath {
                     let key = PacketHeader::synthetic(flow).miniflow();
                     let ti = self.tuple_of(flow);
                     let at = self.front();
-                    self.megaflow.remove_rule(sys.data_mut(), ti, &key);
+                    self.megaflow
+                        .remove_masked(sys.data_mut(), &self.masks[ti], &key);
                     // A torn-down rule's cached exact match must die with
                     // it on every core, or stale actions keep matching.
                     for pmd in &mut self.pmds {
@@ -510,7 +525,7 @@ impl MultiCoreDatapath {
     /// state is byte-identical at every `threads` value.
     fn run_window(
         pmds: &mut [PmdThread],
-        megaflow: &TupleSpace<ExactTable>,
+        megaflow: &WildcardMatcher,
         sys: &mut MemorySystem,
         batch: &[(u64, usize)],
         threads: usize,
@@ -618,10 +633,11 @@ impl MultiCoreDatapath {
                 // packet i, at the merged clock of packet i's PMD.
                 let p = schedule[i].1;
                 let wcore = CoreId(sys.config().cores - 1);
-                for ti in 0..self.megaflow.tuples().len() {
-                    let va = self.megaflow.tuples()[ti].table().version_addr();
-                    let at = self.pmds[p].clock;
-                    sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                for ti in 0..self.megaflow.probes() {
+                    if let Some(va) = self.megaflow.probe_version_addr(ti) {
+                        let at = self.pmds[p].clock;
+                        sys.access(wcore, va, halo_mem::AccessKind::Store, at);
+                    }
                 }
             }
             let mut end = (i + WINDOW_PKTS).min(schedule.len());
@@ -727,7 +743,7 @@ impl MultiCoreDatapath {
                     let at = self.front();
                     if self
                         .megaflow
-                        .insert_rule(sys.data_mut(), ti, &key, 0, flow)
+                        .insert_masked(sys.data_mut(), &self.masks[ti], &key, 0, flow)
                         .is_err()
                     {
                         r.rejected_installs += 1;
@@ -740,7 +756,8 @@ impl MultiCoreDatapath {
                     let key = PacketHeader::synthetic(flow).miniflow();
                     let ti = self.tuple_of(flow);
                     let at = self.front();
-                    self.megaflow.remove_rule(sys.data_mut(), ti, &key);
+                    self.megaflow
+                        .remove_masked(sys.data_mut(), &self.masks[ti], &key);
                     for pmd in &mut self.pmds {
                         pmd.dp.invalidate(sys.data_mut(), &key);
                     }
@@ -873,6 +890,28 @@ mod tests {
                 table_backend.name()
             );
         }
+    }
+
+    /// The wildcard backend is a runtime config choice for the shared
+    /// MegaFlow layer too: RVH classifies the same flows and survives
+    /// streaming churn.
+    #[test]
+    fn rvh_wildcard_backend_runs_multicore() {
+        let mut sys = MemorySystem::new(MachineConfig::default());
+        let mut cfg = MultiCoreConfig::new(4, 5, 2_000, LookupBackend::Software, 42);
+        cfg.wildcard_backend = WildcardBackend::Rvh;
+        let mut dp = MultiCoreDatapath::with_config(&mut sys, cfg);
+        let report = dp.run(&mut sys, None, 400, 50);
+        assert_eq!(report.packets, 400);
+        assert!(report.throughput_per_kcy > 0.0);
+        let churn = vec![
+            TrafficEvent::Expiry(3),
+            TrafficEvent::Packet(3),
+            TrafficEvent::Arrival(5_000),
+            TrafficEvent::Packet(5_000),
+        ];
+        let r = dp.run_stream(&mut sys, None, churn);
+        assert_eq!(r.misses, 1, "expired flow misses; the newborn hits");
     }
 
     /// The streaming entry point applies arrivals/expiries to the

@@ -8,9 +8,14 @@
 //! phase accounting, and the OpenFlow slow path.
 
 use halo_accel::HaloEngine;
-use halo_classify::{Emc, PacketHeader, RuleMatch, SearchMode, TupleSpace, WildcardMask};
+use halo_classify::{
+    Emc, PacketHeader, RangeRule, RuleError, RuleMatch, SearchMode, TupleSpace, WildcardMask,
+};
 use halo_cpu::Program;
-use halo_datapath::{DatapathCore, LookupExecutor, NbRegion};
+use halo_datapath::{
+    DatapathCore, LookupExecutor, NbRegion, TableBackend, WildcardBackend, WildcardError,
+    WildcardMatcher, WildcardTable,
+};
 use halo_mem::{Addr, CoreId, MemorySystem, CACHE_LINE};
 use halo_sim::{Cycle, Cycles};
 use halo_tables::FlowKey;
@@ -75,6 +80,9 @@ pub struct SwitchConfig {
     pub megaflow_capacity: usize,
     /// Which backend performs the lookups.
     pub backend: LookupBackend,
+    /// Which wildcard-table implementation backs the MegaFlow layer
+    /// (tuple space search or range-vector hashing).
+    pub wildcard_backend: WildcardBackend,
     /// Promote MegaFlow hits into the EMC (OVS behaviour).
     pub emc_promotion: bool,
     /// Enable the OpenFlow slow-path layer: MegaFlow misses fall
@@ -96,6 +104,7 @@ impl SwitchConfig {
             megaflow_masks: halo_classify::distinct_masks(masks),
             megaflow_capacity: 1024,
             backend,
+            wildcard_backend: WildcardBackend::default(),
             emc_promotion: true,
             openflow: false,
             openflow_capacity: 4096,
@@ -175,7 +184,10 @@ impl PacketRing {
 #[derive(Debug)]
 pub struct VirtualSwitch {
     dp: DatapathCore,
-    megaflow: TupleSpace,
+    megaflow: WildcardMatcher,
+    /// MegaFlow mask list, indexed by the `tuple_idx` of the install
+    /// API (and of OpenFlow rule matches during upcalls).
+    masks: Vec<WildcardMask>,
     openflow: Option<TupleSpace>,
     ring: PacketRing,
     breakdown: Breakdown,
@@ -192,18 +204,18 @@ impl VirtualSwitch {
         } else {
             None
         };
-        let masks = cfg.megaflow_masks.len();
-        let masks_copy = cfg.megaflow_masks.clone();
-        let megaflow = TupleSpace::new(
+        let nmasks = cfg.megaflow_masks.len();
+        let megaflow = cfg.wildcard_backend.build(
             sys.data_mut(),
-            cfg.megaflow_masks,
+            TableBackend::Cuckoo,
+            &cfg.megaflow_masks,
             cfg.megaflow_capacity,
             SearchMode::FirstMatch,
         );
         let openflow = if cfg.openflow {
             Some(TupleSpace::new(
                 sys.data_mut(),
-                masks_copy,
+                cfg.megaflow_masks.clone(),
                 cfg.openflow_capacity,
                 SearchMode::HighestPriority,
             ))
@@ -211,13 +223,14 @@ impl VirtualSwitch {
             None
         };
         let ring = PacketRing::new(sys);
-        // NB destination lines, sized so a search probing every mask
-        // still gets one result word per in-flight lookup.
-        let nb = NbRegion::allocate(sys.data_mut(), masks);
+        // NB destination lines, sized so a search probing every probe
+        // slot still gets one result word per in-flight lookup.
+        let nb = NbRegion::allocate(sys.data_mut(), megaflow.probes().max(nmasks));
         let exec = exec.with_nb_region(nb);
         VirtualSwitch {
             dp: DatapathCore::new(exec, emc, cfg.backend, cfg.emc_promotion),
             megaflow,
+            masks: cfg.megaflow_masks,
             openflow,
             ring,
             breakdown: Breakdown::default(),
@@ -225,9 +238,9 @@ impl VirtualSwitch {
         }
     }
 
-    /// The MegaFlow tuple space (for inspection).
+    /// The MegaFlow wildcard table (for inspection).
     #[must_use]
-    pub fn megaflow(&self) -> &TupleSpace {
+    pub fn megaflow(&self) -> &WildcardMatcher {
         &self.megaflow
     }
 
@@ -253,11 +266,16 @@ impl VirtualSwitch {
         }
     }
 
-    /// Installs a flow rule into MegaFlow tuple `tuple_idx`.
+    /// Installs a flow rule under the mask of MegaFlow tuple
+    /// `tuple_idx`, returning the `(priority, action)` it replaced if
+    /// the masked key was already installed.
     ///
     /// # Errors
     ///
-    /// Propagates [`halo_tables::TableFullError`] from the tuple table.
+    /// [`WildcardError::UnknownMask`] when `tuple_idx` names no
+    /// configured mask (or the active backend cannot represent it),
+    /// otherwise the backend's insertion error (full table or an
+    /// action outside the 48-bit encodable range).
     pub fn install_flow(
         &mut self,
         sys: &mut MemorySystem,
@@ -265,16 +283,35 @@ impl VirtualSwitch {
         tuple_idx: usize,
         priority: u16,
         action: u64,
-    ) -> Result<(), halo_tables::TableFullError> {
+    ) -> Result<Option<(u16, u64)>, WildcardError> {
+        let mask = self
+            .masks
+            .get(tuple_idx)
+            .ok_or(WildcardError::UnknownMask)?;
         self.megaflow
-            .insert_rule(sys.data_mut(), tuple_idx, key, priority, action)
+            .insert_masked(sys.data_mut(), mask, key, priority, action)
     }
 
-    /// Installs a rule into the OpenFlow slow-path layer.
+    /// Installs a per-field range rule into the MegaFlow layer.
     ///
     /// # Errors
     ///
-    /// Propagates [`halo_tables::TableFullError`].
+    /// [`WildcardError::UnsupportedRanges`] when the active backend has
+    /// no range representation; otherwise as [`Self::install_flow`].
+    pub fn install_range_rule(
+        &mut self,
+        sys: &mut MemorySystem,
+        rule: &RangeRule,
+    ) -> Result<Option<(u16, u64)>, WildcardError> {
+        self.megaflow.insert_range(sys.data_mut(), rule)
+    }
+
+    /// Installs a rule into the OpenFlow slow-path layer, returning the
+    /// `(priority, action)` it replaced, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuleError`].
     ///
     /// # Panics
     ///
@@ -286,7 +323,7 @@ impl VirtualSwitch {
         tuple_idx: usize,
         priority: u16,
         action: u64,
-    ) -> Result<(), halo_tables::TableFullError> {
+    ) -> Result<Option<(u16, u64)>, RuleError> {
         self.openflow
             .as_mut()
             .expect("switch built without the OpenFlow layer")
@@ -309,10 +346,8 @@ impl VirtualSwitch {
                 sys.warm_llc(a);
             }
         }
-        for t in self.megaflow.tuples() {
-            for a in t.table().all_lines().collect::<Vec<_>>() {
-                sys.warm_llc(a);
-            }
+        for a in self.megaflow.memory_lines() {
+            sys.warm_llc(a);
         }
         if let Some(of) = &self.openflow {
             for t in of.tuples() {
@@ -422,9 +457,13 @@ impl VirtualSwitch {
                     // Install the resolved flow into MegaFlow (the
                     // revalidator's handiwork), modeled as a fixed
                     // upcall/installation overhead.
-                    let _ =
-                        self.megaflow
-                            .insert_rule(sys.data_mut(), hit.tuple, &key, 0, hit.action);
+                    let _ = self.megaflow.insert_masked(
+                        sys.data_mut(),
+                        &self.masks[hit.tuple],
+                        &key,
+                        0,
+                        hit.action,
+                    );
                     tt += Cycles(UPCALL_INSTALL_CYCLES);
                     self.dp.promote(sys.data_mut(), &key, hit.action);
                 } else {

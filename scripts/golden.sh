@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FIGS=(fig3 fig9 fig10 fig11 scaling ablation ablation-backends scale)
+FIGS=(fig3 fig9 fig10 fig11 scaling ablation ablation-backends ablation-wildcard scale)
 mode="verify"
 [[ "${1:-}" == "--update" ]] && mode="update"
 
@@ -25,7 +25,7 @@ if [[ "$mode" == "update" ]]; then
     # previous run are sitting uncommitted in the tree: an --update that
     # silently coexists with leftover outputs makes it far too easy to
     # commit digests that do not correspond to this tree's code.
-    artifacts=(BENCH_hotpath.json BENCH_sweep.json TRACE_halo.json ABLATION_backends.json SCALE_flows.json)
+    artifacts=(BENCH_hotpath.json BENCH_sweep.json TRACE_halo.json ABLATION_backends.json ABLATION_wildcard.json SCALE_flows.json)
     stale=()
     for f in "${artifacts[@]}"; do
         # Tracked-and-clean copies are fine; anything else (untracked,

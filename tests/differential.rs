@@ -274,6 +274,69 @@ fn churn_stream_agrees_with_oracle_on_every_backend() {
     }
 }
 
+/// Wildcard differential: range-rule churn and classification streams
+/// (generated per ruleset shape, from exact-heavy MegaFlow state to a
+/// port-span ACL mix) must agree with the linear-scan [`RangeOracle`]
+/// on every wildcard backend — TSS prefix expansion and the RVH
+/// range-vector hash — comparing `(priority, action)` winners and the
+/// installed-rule census at the audit cadence.
+///
+/// [`RangeOracle`]: halo_nfv::check::RangeOracle
+#[test]
+fn wildcard_stream_agrees_with_range_oracle_on_every_backend() {
+    use halo_nfv::check::run_wildcard_differential;
+    use halo_nfv::nf::RulesetShape;
+    let cases = if cfg!(feature = "slow-tests") { 8 } else { 2 };
+    let events = if cfg!(feature = "slow-tests") {
+        400
+    } else {
+        160
+    };
+    for shape in RulesetShape::all() {
+        run_wildcard_differential(
+            &format!("differential.wildcard.{}", shape.name()),
+            cases,
+            32,
+            events,
+            shape,
+        )
+        .unwrap_or_else(|t| panic!("{}: {t}", shape.name()));
+    }
+}
+
+/// The wildcard-ablation matrix must be jobs-invariant too: the same
+/// small slice at one and four workers produces bit-identical cells
+/// and an identical rendered table.
+#[test]
+fn ablation_wildcard_small_slice_is_jobs_invariant() {
+    use halo_bench::experiments::ablation_wildcard;
+    use halo_nfv::sim::SweepRunner;
+
+    let a = ablation_wildcard::run_small_slice(&SweepRunner::new("abl-w-det-1", 1).quiet());
+    let b = ablation_wildcard::run_small_slice(&SweepRunner::new("abl-w-det-4", 4).quiet());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.backend, y.backend);
+        assert_eq!(x.shape, y.shape);
+        assert_eq!(x.strategy, y.strategy);
+        assert_eq!(
+            x.throughput.to_bits(),
+            y.throughput.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+        assert_eq!(
+            x.probes_per_lookup.to_bits(),
+            y.probes_per_lookup.to_bits(),
+            "{x:?} vs {y:?}"
+        );
+        assert_eq!(x.mem_bytes, y.mem_bytes);
+    }
+    assert_eq!(
+        ablation_wildcard::table(&a).to_string(),
+        ablation_wildcard::table(&b).to_string()
+    );
+}
+
 /// The scale experiment's small slice merges identically at any
 /// worker count — the property that lets `GOLDEN.sha256` pin the
 /// `figures scale --quick` output.
