@@ -1,0 +1,40 @@
+use halo_nfv::classify::{FieldRange, PacketHeader, RangeRule, SearchMode, FIELDS, MINIFLOW_LEN};
+use halo_nfv::datapath::{TableBackend, WildcardBackend, WildcardTable};
+use halo_nfv::mem::SimMemory;
+use halo_nfv::tables::FlowKey;
+
+fn rule(lo: u64, hi: u64, priority: u16, action: u64) -> RangeRule {
+    let mut r = RangeRule::exact_flow(&PacketHeader::synthetic(1).miniflow(), priority, action);
+    r.ranges[3] = FieldRange::span(lo, hi);
+    r
+}
+
+#[test]
+fn stale_covering_winner_after_removal() {
+    for backend in WildcardBackend::all() {
+        let mut mem = SimMemory::new();
+        let mut w = backend.build(
+            &mut mem,
+            TableBackend::Cuckoo,
+            &[],
+            4096,
+            SearchMode::HighestPriority,
+        );
+        let n = rule(1024, 2047, 9, 900);
+        let wd = rule(1000, 1999, 2, 200);
+        w.insert_range(&mut mem, &n).unwrap();
+        w.insert_range(&mut mem, &wd).unwrap();
+        assert_eq!(w.remove_range(&mut mem, &n), Some((9, 900)));
+        let mut bytes = [0u8; MINIFLOW_LEN];
+        bytes.copy_from_slice(wd.point_key().as_bytes());
+        FIELDS[3].write(&mut bytes, 1_200);
+        let key = FlowKey::from_bytes(&bytes);
+        let m = w.classify(&mem, &key).expect("W still matches");
+        assert_eq!(
+            (m.priority, m.action),
+            (2, 200),
+            "{}: stale covering-winner entry",
+            backend.name()
+        );
+    }
+}
